@@ -1,0 +1,264 @@
+// Benchmarks regenerating the paper's tables and figures (§2.1, §7, §8) at
+// laptop scale, plus micro-benchmarks of the protocol's hot paths. Each
+// "Figure"/"Table" benchmark runs one full scaled-down experiment per
+// iteration; EXPERIMENTS.md records a captured run next to the paper's
+// numbers. Run with:
+//
+//	go test -bench=. -benchmem
+package rapid_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/graph"
+	"repro/internal/harness"
+	"repro/internal/node"
+	"repro/internal/remoting"
+	"repro/internal/view"
+)
+
+// benchConfig compresses time aggressively so each experiment iteration stays
+// in the single-digit seconds.
+func benchConfig() experiments.Config {
+	return experiments.Config{TimeScale: 100, Seed: 7}
+}
+
+// BenchmarkFigure5To7Table1_Bootstrap measures bootstrap convergence for each
+// system (Figure 5), per-node latency distributions (Figure 6), the shape of
+// the size timeseries (Figure 7) and the number of unique sizes (Table 1).
+func BenchmarkFigure5To7Table1_Bootstrap(b *testing.B) {
+	systems := []harness.System{
+		harness.SystemZooKeeper, harness.SystemMemberlist, harness.SystemRapidC, harness.SystemRapid,
+	}
+	const n = 24
+	for _, system := range systems {
+		b.Run(string(system), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r, err := experiments.RunBootstrap(benchConfig(), system, n)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !r.Converged {
+					b.Fatalf("%s bootstrap did not converge", system)
+				}
+				b.ReportMetric(benchConfig().TimeScale*r.ConvergenceTime.Seconds(), "paper-s/bootstrap")
+				b.ReportMetric(float64(r.UniqueSizes), "unique-sizes")
+			}
+		})
+	}
+}
+
+// BenchmarkFigure8_ConcurrentCrashes measures how long each system takes to
+// remove 10% of the membership after a simultaneous crash.
+func BenchmarkFigure8_ConcurrentCrashes(b *testing.B) {
+	systems := []harness.System{harness.SystemMemberlist, harness.SystemRapid}
+	const n, failures = 20, 2
+	for _, system := range systems {
+		b.Run(string(system), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r, err := experiments.RunCrash(benchConfig(), system, n, failures)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(benchConfig().TimeScale*r.RecoveryTime.Seconds(), "paper-s/removal")
+				b.ReportMetric(float64(r.UniqueSizes), "unique-sizes")
+			}
+		})
+	}
+}
+
+// BenchmarkFigure1_9_10_AsymmetricFaults measures stability under the paper's
+// asymmetric network failures: Figure 9's one-way flip-flopping partition and
+// Figure 10's (and Figure 1's) sustained 80% packet loss.
+func BenchmarkFigure1_9_10_AsymmetricFaults(b *testing.B) {
+	cases := []struct {
+		name  string
+		fault experiments.FaultKind
+	}{
+		{"Figure9_IngressFlipFlop", experiments.FaultIngressFlipFlop},
+		{"Figure1_10_EgressLoss80", experiments.FaultEgressLoss80},
+	}
+	const n = 20
+	for _, c := range cases {
+		b.Run(c.name+"/rapid", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r, err := experiments.RunFault(benchConfig(), harness.SystemRapid, c.fault, n)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !r.FaultyRemoved {
+					b.Fatalf("rapid did not remove the faulty member under %s", c.fault)
+				}
+				b.ReportMetric(benchConfig().TimeScale*r.RemovalTime.Seconds(), "paper-s/removal")
+			}
+		})
+	}
+}
+
+// BenchmarkTable2_Bandwidth measures per-process network bandwidth during the
+// crash-fault experiment, the quantity Table 2 reports.
+func BenchmarkTable2_Bandwidth(b *testing.B) {
+	systems := []harness.System{harness.SystemMemberlist, harness.SystemRapid}
+	for _, system := range systems {
+		b.Run(string(system), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r, err := experiments.RunBandwidth(benchConfig(), system, 16, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(r.Received.MeanKBps, "KBps-recv-mean")
+				b.ReportMetric(r.Received.MaxKBps, "KBps-recv-max")
+				b.ReportMetric(r.Sent.MeanKBps, "KBps-sent-mean")
+			}
+		})
+	}
+}
+
+// BenchmarkFigure11_CutDetectionConflictRate measures the almost-everywhere
+// agreement conflict rate across the paper's (H, L, F) grid with K=10.
+func BenchmarkFigure11_CutDetectionConflictRate(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		points := experiments.RunCutDetectionSensitivity(cfg, 10,
+			[]int{6, 7, 8, 9}, []int{1, 2, 3, 4}, []int{2, 4, 8, 16}, 20, 3)
+		var worst float64
+		for _, p := range points {
+			if p.ConflictRate > worst {
+				worst = p.ConflictRate
+			}
+		}
+		b.ReportMetric(worst, "worst-conflict-%")
+	}
+}
+
+// BenchmarkFigure12_TransactionalPlatform measures transaction latency and
+// failovers for the gossip-FD baseline vs Rapid under a packet blackhole.
+func BenchmarkFigure12_TransactionalPlatform(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		results, err := experiments.RunTransactionWorkload(benchConfig(), 10, 1200*time.Millisecond)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range results {
+			b.ReportMetric(float64(r.Failovers), "failovers-"+r.Provider)
+			b.ReportMetric(float64(r.Transactions), "txns-"+r.Provider)
+		}
+	}
+}
+
+// BenchmarkFigure13_ServiceDiscovery measures load-balancer reloads and tail
+// latency when a group of backends fails, for Memberlist vs Rapid.
+func BenchmarkFigure13_ServiceDiscovery(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		results, err := experiments.RunServiceDiscovery(benchConfig(), 12, 3, 1200*time.Millisecond)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range results {
+			b.ReportMetric(float64(r.Reloads), "reloads-"+r.Provider)
+			b.ReportMetric(float64(r.P99Latency.Milliseconds()), "p99ms-"+r.Provider)
+		}
+	}
+}
+
+// BenchmarkSection8_Expansion measures the normalized second eigenvalue of
+// the K-ring monitoring topology (the paper reports λ/d < 0.45 for K=10).
+func BenchmarkSection8_Expansion(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunExpansion(benchConfig(), 10, []int{250}, 3)
+		if len(res) == 1 {
+			b.ReportMetric(res[0].NormalizedL2, "lambda/d")
+			b.ReportMetric(res[0].DetectableBetaL, "detectable-beta")
+		}
+	}
+}
+
+// --- micro-benchmarks of protocol hot paths ----------------------------------
+
+func buildBenchView(k, n int) *view.View {
+	eps := make([]node.Endpoint, n)
+	for i := range eps {
+		eps[i] = node.Endpoint{
+			Addr: node.Addr(fmt.Sprintf("10.%d.%d.%d:1", i/65536, (i/256)%256, i%256)),
+			ID:   node.ID{High: uint64(i + 1), Low: uint64(i + 13)},
+		}
+	}
+	return view.NewWithMembers(k, eps)
+}
+
+// BenchmarkViewConstruction measures building the K-ring topology for a
+// 1000-member configuration, which happens once per view change per process.
+func BenchmarkViewConstruction(b *testing.B) {
+	eps := make([]node.Endpoint, 1000)
+	for i := range eps {
+		eps[i] = node.Endpoint{
+			Addr: node.Addr(fmt.Sprintf("10.%d.%d.%d:1", i/65536, (i/256)%256, i%256)),
+			ID:   node.ID{High: uint64(i + 1), Low: uint64(i + 13)},
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v := view.NewWithMembers(10, eps)
+		if v.Size() != 1000 {
+			b.Fatal("bad view")
+		}
+	}
+}
+
+// BenchmarkObserversLookup measures the per-alert topology lookup.
+func BenchmarkObserversLookup(b *testing.B) {
+	v := buildBenchView(10, 1000)
+	addrs := v.MemberAddrs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := v.ObserversOf(addrs[i%len(addrs)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkConfigurationID measures the configuration identifier hash.
+func BenchmarkConfigurationID(b *testing.B) {
+	v := buildBenchView(10, 1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = v.ConfigurationID()
+	}
+}
+
+// BenchmarkAlertEncoding measures the wire codec for a typical alert batch.
+func BenchmarkAlertEncoding(b *testing.B) {
+	batch := &remoting.Request{Alerts: &remoting.BatchedAlertMessage{Sender: "a:1"}}
+	for i := 0; i < 8; i++ {
+		batch.Alerts.Alerts = append(batch.Alerts.Alerts, remoting.AlertMessage{
+			EdgeSrc: "a:1", EdgeDst: node.Addr(fmt.Sprintf("b%d:1", i)),
+			Status: remoting.EdgeDown, ConfigurationID: 42, RingNumbers: []int{1, 5},
+		})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		data, err := remoting.EncodeRequest(batch)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := remoting.DecodeRequest(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExpanderEigenvalue measures the §8 spectral analysis itself.
+func BenchmarkExpanderEigenvalue(b *testing.B) {
+	v := buildBenchView(10, 500)
+	g, _, err := graph.FromView(v)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.SecondEigenvalue(100, 1)
+	}
+}

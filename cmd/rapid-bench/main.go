@@ -1,0 +1,159 @@
+// Command rapid-bench regenerates the paper's evaluation tables and figures
+// (§2.1, §7, §8) using the in-process experiment harness. Each experiment
+// prints the same rows or series the paper reports, scaled down to sizes that
+// run on a single machine.
+//
+// Usage:
+//
+//	rapid-bench -exp all
+//	rapid-bench -exp fig5 -sizes 30,60,100
+//	rapid-bench -exp fig11
+//	rapid-bench -exp fig12 -scale 100
+//
+// Experiments: fig1, fig5 (also covers fig6/fig7/table1), fig8, fig9, fig10,
+// table2, fig11, fig12, fig13, eigen, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/harness"
+)
+
+func main() {
+	var (
+		expName = flag.String("exp", "all", "experiment to run (fig1,fig5,fig8,fig9,fig10,table2,fig11,fig12,fig13,eigen,all)")
+		scale   = flag.Float64("scale", 50, "time compression factor (50 = 1 paper-second -> 20ms)")
+		n       = flag.Int("n", 60, "cluster size for failure experiments")
+		sizes   = flag.String("sizes", "30,60,100", "comma-separated cluster sizes for bootstrap experiments")
+		seed    = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	cfg := experiments.Config{TimeScale: *scale, Seed: *seed, Out: os.Stdout}
+	bootstrapSizes, err := parseSizes(*sizes)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "invalid -sizes: %v\n", err)
+		os.Exit(2)
+	}
+
+	allSystems := []harness.System{
+		harness.SystemZooKeeper, harness.SystemMemberlist, harness.SystemRapidC, harness.SystemRapid,
+	}
+	comparisonSystems := []harness.System{
+		harness.SystemZooKeeper, harness.SystemMemberlist, harness.SystemRapid,
+	}
+
+	run := func(name string, fn func() error) {
+		start := time.Now()
+		fmt.Printf("\n--- %s ---\n", name)
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s completed in %s)\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	selected := strings.ToLower(*expName)
+	want := func(name string) bool { return selected == "all" || selected == name }
+
+	if want("fig1") {
+		run("Figure 1: instability under 80% packet loss at 1% of nodes", func() error {
+			_, err := experiments.FaultSweep(cfg, comparisonSystems, experiments.FaultEgressLoss80, *n)
+			return err
+		})
+	}
+	if want("fig5") || want("fig6") || want("fig7") || want("table1") {
+		run("Figures 5-7 and Table 1: bootstrap", func() error {
+			_, err := experiments.BootstrapSweep(cfg, allSystems, bootstrapSizes)
+			return err
+		})
+	}
+	if want("fig8") {
+		run("Figure 8: concurrent crash failures", func() error {
+			failures := *n / 100
+			if failures < 2 {
+				failures = *n / 10
+			}
+			if failures < 1 {
+				failures = 1
+			}
+			_, err := experiments.CrashSweep(cfg, comparisonSystems, *n, failures)
+			return err
+		})
+	}
+	if want("fig9") {
+		run("Figure 9: flip-flopping one-way (ingress) partitions", func() error {
+			_, err := experiments.FaultSweep(cfg, comparisonSystems, experiments.FaultIngressFlipFlop, *n)
+			return err
+		})
+	}
+	if want("fig10") {
+		run("Figure 10: 80% egress packet loss", func() error {
+			_, err := experiments.FaultSweep(cfg, comparisonSystems, experiments.FaultEgressLoss80, *n)
+			return err
+		})
+	}
+	if want("table2") {
+		run("Table 2: per-process bandwidth", func() error {
+			failures := *n / 10
+			if failures < 1 {
+				failures = 1
+			}
+			_, err := experiments.BandwidthSweep(cfg, comparisonSystems, *n, failures)
+			return err
+		})
+	}
+	if want("fig11") {
+		run("Figure 11: K, H, L sensitivity", func() error {
+			experiments.SensitivitySweep(cfg, 10, 100, 20)
+			return nil
+		})
+	}
+	if want("fig12") {
+		run("Figure 12: transactional platform", func() error {
+			_, err := experiments.RunTransactionWorkload(cfg, 12, 3*time.Second)
+			return err
+		})
+	}
+	if want("fig13") {
+		run("Figure 13: service discovery", func() error {
+			_, err := experiments.RunServiceDiscovery(cfg, 20, 5, 3*time.Second)
+			return err
+		})
+	}
+	if want("eigen") {
+		run("Section 8: expander analysis", func() error {
+			experiments.RunExpansion(cfg, 10, []int{100, 250, 500, 1000}, 3)
+			return nil
+		})
+	}
+}
+
+func parseSizes(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, err
+		}
+		if v < 2 {
+			return nil, fmt.Errorf("cluster size %d too small", v)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no sizes given")
+	}
+	return out, nil
+}

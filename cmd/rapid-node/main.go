@@ -1,0 +1,106 @@
+// Command rapid-node runs a standalone Rapid membership agent over TCP. The
+// first node of a cluster is started without --join; every other node joins
+// through one or more seed addresses. View changes are logged as they are
+// installed, and SIGINT/SIGTERM triggers a graceful leave.
+//
+// Example:
+//
+//	rapid-node --listen 10.0.0.1:5000
+//	rapid-node --listen 10.0.0.2:5000 --join 10.0.0.1:5000 --metadata role=backend
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	rapid "repro"
+)
+
+func main() {
+	var (
+		listen   = flag.String("listen", "127.0.0.1:5000", "host:port this agent listens on")
+		join     = flag.String("join", "", "comma-separated seed addresses (empty = bootstrap a new cluster)")
+		metadata = flag.String("metadata", "", "comma-separated key=value pairs attached to this process")
+		interval = flag.Duration("probe-interval", time.Second, "edge failure detector probe interval")
+	)
+	flag.Parse()
+
+	settings := rapid.DefaultSettings()
+	settings.ProbeInterval = *interval
+	settings.ProbeTimeout = *interval / 2
+	if md := parseMetadata(*metadata); len(md) > 0 {
+		settings.Metadata = md
+	}
+
+	net := rapid.NewTCPNetwork(rapid.TCPNetworkOptions{})
+	addr := rapid.Addr(*listen)
+
+	var cluster *rapid.Cluster
+	var err error
+	if *join == "" {
+		log.Printf("bootstrapping a new cluster on %s", addr)
+		cluster, err = rapid.StartCluster(addr, settings, net)
+	} else {
+		seeds := parseSeeds(*join)
+		log.Printf("joining via seeds %v", seeds)
+		cluster, err = rapid.JoinCluster(addr, seeds, settings, net)
+	}
+	if err != nil {
+		log.Fatalf("failed to start: %v", err)
+	}
+	log.Printf("member of configuration %x with %d nodes", cluster.ConfigurationID(), cluster.Size())
+
+	cluster.Subscribe(func(vc rapid.ViewChange) {
+		var joined, removed []string
+		for _, ch := range vc.Changes {
+			if ch.Joined {
+				joined = append(joined, string(ch.Endpoint.Addr))
+			} else {
+				removed = append(removed, string(ch.Endpoint.Addr))
+			}
+		}
+		log.Printf("view change: configuration %x, %d members (joined: %v, removed: %v)",
+			vc.ConfigurationID, len(vc.Members), joined, removed)
+	})
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	log.Printf("leaving the cluster...")
+	cluster.Leave()
+	time.Sleep(2 * settings.BatchingWindow)
+	cluster.Stop()
+	fmt.Println("stopped")
+}
+
+func parseSeeds(s string) []rapid.Addr {
+	var out []rapid.Addr
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part != "" {
+			out = append(out, rapid.Addr(part))
+		}
+	}
+	return out
+}
+
+func parseMetadata(s string) map[string]string {
+	out := make(map[string]string)
+	for _, pair := range strings.Split(s, ",") {
+		pair = strings.TrimSpace(pair)
+		if pair == "" {
+			continue
+		}
+		kv := strings.SplitN(pair, "=", 2)
+		if len(kv) == 2 {
+			out[kv[0]] = kv[1]
+		}
+	}
+	return out
+}

@@ -1,0 +1,128 @@
+// Command rapid-sim runs an ad-hoc failure scenario against one membership
+// system on the simulated network and prints the per-node view-size series,
+// which is the raw data behind the paper's timeseries figures (1, 8, 9, 10).
+//
+// Example:
+//
+//	rapid-sim -system rapid -n 40 -fault crash -victims 4
+//	rapid-sim -system memberlist -n 40 -fault egress-loss -victims 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/node"
+)
+
+func main() {
+	var (
+		system   = flag.String("system", "rapid", "membership system: rapid, rapid-c, memberlist, zookeeper")
+		n        = flag.Int("n", 40, "cluster size")
+		fault    = flag.String("fault", "crash", "fault to inject: none, crash, egress-loss, ingress-block")
+		victims  = flag.Int("victims", 2, "number of faulty nodes")
+		scale    = flag.Float64("scale", 50, "time compression factor")
+		duration = flag.Duration("duration", 20*time.Second, "wall-clock time to observe after the fault")
+		seed     = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	fleet, err := harness.Launch(harness.Options{
+		System:         harness.System(*system),
+		N:              *n,
+		TimeScale:      *scale,
+		Seed:           *seed,
+		SampleInterval: 50 * time.Millisecond,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "launch: %v\n", err)
+		os.Exit(1)
+	}
+	defer fleet.Stop()
+
+	if _, ok := fleet.WaitForSize(*n, 120*time.Second); !ok {
+		fmt.Fprintf(os.Stderr, "cluster did not converge to %d members\n", *n)
+		os.Exit(1)
+	}
+	fmt.Printf("cluster of %d %s members formed; injecting fault %q on %d node(s)\n",
+		*n, *system, *fault, *victims)
+
+	agents := fleet.Agents()
+	var victimAddrs []node.Addr
+	for i := 0; i < *victims && i < len(agents); i++ {
+		victimAddrs = append(victimAddrs, agents[len(agents)-1-i].Addr())
+	}
+	switch *fault {
+	case "none":
+	case "crash":
+		fleet.Crash(victimAddrs...)
+	case "egress-loss":
+		for _, v := range victimAddrs {
+			fleet.Net.SetEgressLoss(v, 0.8)
+		}
+	case "ingress-block":
+		for _, v := range victimAddrs {
+			fleet.Net.SetIngressLoss(v, 1.0)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown fault %q\n", *fault)
+		os.Exit(2)
+	}
+
+	time.Sleep(*duration)
+
+	excluded := make(map[node.Addr]bool)
+	for _, v := range victimAddrs {
+		excluded[v] = true
+	}
+	fmt.Printf("\n%-14s %-10s\n", "time(s)", "sizes reported (min..max across nodes)")
+	printSeries(fleet, excluded, *scale)
+	fmt.Printf("\ndistinct sizes observed: %d\n", fleet.UniqueReportedSizes(excluded))
+}
+
+// printSeries prints, for each sampling instant, the range of sizes reported
+// across all healthy nodes (a textual rendering of the paper's dot plots).
+func printSeries(fleet *harness.Fleet, excluded map[node.Addr]bool, scale float64) {
+	type bucket struct{ min, max float64 }
+	buckets := make(map[int64]*bucket)
+	var order []int64
+	for _, a := range fleet.Agents() {
+		if excluded[a.Addr()] {
+			continue
+		}
+		s := fleet.Series(a.Addr())
+		if s == nil {
+			continue
+		}
+		for _, sample := range s.Samples() {
+			key := sample.At.Sub(fleet.Started()).Milliseconds() / 250
+			b, ok := buckets[key]
+			if !ok {
+				b = &bucket{min: sample.Value, max: sample.Value}
+				buckets[key] = b
+				order = append(order, key)
+			}
+			if sample.Value < b.min {
+				b.min = sample.Value
+			}
+			if sample.Value > b.max {
+				b.max = sample.Value
+			}
+		}
+	}
+	for i := 0; i < len(order); i++ {
+		for j := i + 1; j < len(order); j++ {
+			if order[j] < order[i] {
+				order[i], order[j] = order[j], order[i]
+			}
+		}
+	}
+	for _, key := range order {
+		b := buckets[key]
+		paperSeconds := float64(key) * 0.25 * scale
+		fmt.Printf("%-14.1f %.0f..%.0f\n", paperSeconds, b.min, b.max)
+	}
+}

@@ -1,0 +1,117 @@
+// Command servicediscovery reproduces the §7 service-discovery use case on
+// the public API: a load balancer discovers a fleet of backend web servers
+// through Rapid and rewrites its backend list on every view change. When a
+// group of backends fails simultaneously, Rapid delivers one batched view
+// change, so the load balancer reconfigures exactly once.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	rapid "repro"
+	"repro/internal/apps/discovery"
+)
+
+const backendCount = 20
+
+func main() {
+	net := rapid.NewSimulatedNetwork(rapid.SimulatedNetworkOptions{Seed: 7})
+	settings := rapid.ScaledSettings(25)
+	settings.Metadata = map[string]string{"role": "backend"}
+
+	seedAddr := rapid.Addr("web-00:8080")
+	seed, err := rapid.StartCluster(seedAddr, settings, net)
+	if err != nil {
+		log.Fatalf("start seed backend: %v", err)
+	}
+	clusters := []*rapid.Cluster{seed}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 1; i < backendCount; i++ {
+		addr := rapid.Addr(fmt.Sprintf("web-%02d:8080", i))
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := rapid.JoinCluster(addr, []rapid.Addr{seedAddr}, settings, net)
+			if err != nil {
+				log.Fatalf("join %s: %v", addr, err)
+			}
+			mu.Lock()
+			clusters = append(clusters, c)
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	waitFor(func() bool { return seed.Size() == backendCount })
+	fmt.Printf("backend fleet formed: %d web servers\n", seed.Size())
+
+	// The load balancer tracks the membership through a view-change callback,
+	// exactly like the nginx + Serf/Rapid agent setup in the paper.
+	lb := discovery.NewLoadBalancer(addrsOf(seed), discovery.DefaultOptions().Scaled(10))
+	seed.Subscribe(func(vc rapid.ViewChange) {
+		var backends []rapid.Addr
+		for _, m := range vc.Members {
+			backends = append(backends, m.Addr)
+		}
+		lb.UpdateBackends(backends)
+		fmt.Printf("load balancer reconfigured: %d backends (%d reloads so far)\n",
+			len(backends), lb.Reloads())
+	})
+
+	fmt.Println("serving requests...")
+	before := lb.RunWorkload(500, 300*time.Millisecond)
+	fmt.Printf("steady state: %d requests, p99 %v\n", len(before), p99(before))
+
+	fmt.Println("\nfailing 5 backends simultaneously...")
+	for i := backendCount - 5; i < backendCount; i++ {
+		addr := rapid.Addr(fmt.Sprintf("web-%02d:8080", i))
+		lb.MarkActuallyDead(addr)
+		net.Crash(addr)
+	}
+	during := lb.RunWorkload(500, 600*time.Millisecond)
+	fmt.Printf("during the incident: %d requests, p99 %v, reloads %d\n",
+		len(during), p99(during), lb.Reloads())
+	waitFor(func() bool { return seed.Size() == backendCount-5 })
+	fmt.Printf("\nRapid removed all 5 failed backends in a coordinated change; "+
+		"the load balancer reloaded %d time(s)\n", lb.Reloads())
+
+	for _, c := range clusters {
+		if c.Size() > 0 && c.IsMember() {
+			c.Stop()
+		}
+	}
+}
+
+func addrsOf(c *rapid.Cluster) []rapid.Addr {
+	var out []rapid.Addr
+	for _, m := range c.Members() {
+		out = append(out, m.Addr)
+	}
+	return out
+}
+
+func p99(results []discovery.RequestResult) time.Duration {
+	if len(results) == 0 {
+		return 0
+	}
+	sorted := append([]discovery.RequestResult(nil), results...)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j].Latency < sorted[j-1].Latency; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	return sorted[len(sorted)*99/100].Latency
+}
+
+func waitFor(cond func() bool) {
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

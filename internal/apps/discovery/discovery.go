@@ -1,0 +1,190 @@
+// Package discovery models the service-discovery workload of §7 of the paper
+// (Figure 13): a load balancer discovers a fleet of backend web servers
+// through a membership service and rewrites its configuration on every
+// membership change. Each configuration reload briefly degrades request
+// latency (nginx re-reading its configuration), and requests routed to
+// backends that have failed but are still listed incur a timeout before
+// being retried.
+//
+// The measured effect is the one the paper reports: when ten backends fail,
+// Serf/Memberlist delivers the failures as several independent membership
+// updates, causing multiple reloads and repeated latency spikes, whereas
+// Rapid delivers one multi-node change and a single reload.
+package discovery
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/node"
+)
+
+// Options tune the load-balancer model.
+type Options struct {
+	// BaseLatency is the request latency when the backend is healthy and no
+	// reload is in progress.
+	BaseLatency time.Duration
+	// ReloadPenalty is the extra latency incurred while a configuration
+	// reload is in progress.
+	ReloadPenalty time.Duration
+	// ReloadDuration is how long a reload takes.
+	ReloadDuration time.Duration
+	// DeadBackendTimeout is the timeout paid when a request is routed to a
+	// failed backend that is still in the configuration.
+	DeadBackendTimeout time.Duration
+}
+
+// DefaultOptions matches the shape of the Figure 13 experiment.
+func DefaultOptions() Options {
+	return Options{
+		BaseLatency:        10 * time.Millisecond,
+		ReloadPenalty:      100 * time.Millisecond,
+		ReloadDuration:     1 * time.Second,
+		DeadBackendTimeout: 300 * time.Millisecond,
+	}
+}
+
+// Scaled divides every duration by factor.
+func (o Options) Scaled(factor float64) Options {
+	if factor <= 0 {
+		return o
+	}
+	scale := func(d time.Duration) time.Duration {
+		s := time.Duration(float64(d) / factor)
+		if s < time.Millisecond {
+			s = time.Millisecond
+		}
+		return s
+	}
+	o.BaseLatency = scale(o.BaseLatency)
+	o.ReloadPenalty = scale(o.ReloadPenalty)
+	o.ReloadDuration = scale(o.ReloadDuration)
+	o.DeadBackendTimeout = scale(o.DeadBackendTimeout)
+	return o
+}
+
+// LoadBalancer is the modelled nginx front-end.
+type LoadBalancer struct {
+	opts Options
+
+	mu          sync.Mutex
+	backends    []node.Addr
+	deadActual  map[node.Addr]bool
+	reloadUntil time.Time
+	reloads     int
+	rrIndex     int
+}
+
+// NewLoadBalancer creates a load balancer with an initial backend list.
+func NewLoadBalancer(backends []node.Addr, opts Options) *LoadBalancer {
+	sorted := append([]node.Addr(nil), backends...)
+	node.SortAddrs(sorted)
+	return &LoadBalancer{
+		opts:       opts,
+		backends:   sorted,
+		deadActual: make(map[node.Addr]bool),
+	}
+}
+
+// UpdateBackends installs a new backend list, as the membership service's
+// view-change callback would. Every call that changes the list triggers a
+// configuration reload.
+func (lb *LoadBalancer) UpdateBackends(backends []node.Addr) {
+	sorted := append([]node.Addr(nil), backends...)
+	node.SortAddrs(sorted)
+	lb.mu.Lock()
+	defer lb.mu.Unlock()
+	if equalAddrs(lb.backends, sorted) {
+		return
+	}
+	lb.backends = sorted
+	lb.reloads++
+	lb.reloadUntil = time.Now().Add(lb.opts.ReloadDuration)
+}
+
+// MarkActuallyDead records that a backend has really failed (whether or not
+// the membership layer has noticed yet). Requests routed to it time out.
+func (lb *LoadBalancer) MarkActuallyDead(addr node.Addr) {
+	lb.mu.Lock()
+	defer lb.mu.Unlock()
+	lb.deadActual[addr] = true
+}
+
+// Reloads returns how many configuration reloads have occurred.
+func (lb *LoadBalancer) Reloads() int {
+	lb.mu.Lock()
+	defer lb.mu.Unlock()
+	return lb.reloads
+}
+
+// Backends returns the currently configured backend list.
+func (lb *LoadBalancer) Backends() []node.Addr {
+	lb.mu.Lock()
+	defer lb.mu.Unlock()
+	return append([]node.Addr(nil), lb.backends...)
+}
+
+// RequestResult is one simulated HTTP request.
+type RequestResult struct {
+	At      time.Time
+	Latency time.Duration
+	// TimedOut reports whether the request hit a dead backend first.
+	TimedOut bool
+}
+
+// ServeRequest routes one request round-robin and returns its latency, which
+// accounts for in-progress reloads and dead-but-configured backends.
+func (lb *LoadBalancer) ServeRequest() RequestResult {
+	start := time.Now()
+	lb.mu.Lock()
+	if len(lb.backends) == 0 {
+		lb.mu.Unlock()
+		return RequestResult{At: start, Latency: lb.opts.DeadBackendTimeout, TimedOut: true}
+	}
+	backend := lb.backends[lb.rrIndex%len(lb.backends)]
+	lb.rrIndex++
+	reloading := time.Now().Before(lb.reloadUntil)
+	dead := lb.deadActual[backend]
+	lb.mu.Unlock()
+
+	latency := lb.opts.BaseLatency
+	if reloading {
+		latency += lb.opts.ReloadPenalty
+	}
+	timedOut := false
+	if dead {
+		// Timeout, then retry against a healthy backend.
+		latency += lb.opts.DeadBackendTimeout
+		timedOut = true
+	}
+	return RequestResult{At: start, Latency: latency, TimedOut: timedOut}
+}
+
+// RunWorkload issues requests at the given rate for the given duration.
+func (lb *LoadBalancer) RunWorkload(requestsPerSecond int, duration time.Duration) []RequestResult {
+	if requestsPerSecond <= 0 {
+		requestsPerSecond = 100
+	}
+	interval := time.Second / time.Duration(requestsPerSecond)
+	var results []RequestResult
+	deadline := time.Now().Add(duration)
+	for time.Now().Before(deadline) {
+		results = append(results, lb.ServeRequest())
+		time.Sleep(interval)
+	}
+	sort.Slice(results, func(i, j int) bool { return results[i].At.Before(results[j].At) })
+	return results
+}
+
+func equalAddrs(a, b []node.Addr) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,129 @@
+package discovery
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/node"
+)
+
+func backends(n int) []node.Addr {
+	out := make([]node.Addr, n)
+	for i := range out {
+		out[i] = node.Addr(fmt.Sprintf("web-%02d:80", i))
+	}
+	return out
+}
+
+func fastOpts() Options { return DefaultOptions().Scaled(20) }
+
+func TestRequestsAtBaseLatencyWhenHealthy(t *testing.T) {
+	lb := NewLoadBalancer(backends(10), fastOpts())
+	for i := 0; i < 50; i++ {
+		r := lb.ServeRequest()
+		if r.TimedOut {
+			t.Fatal("request timed out against a healthy fleet")
+		}
+		if r.Latency != fastOpts().BaseLatency {
+			t.Fatalf("latency = %v, want base %v", r.Latency, fastOpts().BaseLatency)
+		}
+	}
+	if lb.Reloads() != 0 {
+		t.Fatal("no reloads expected without membership changes")
+	}
+}
+
+func TestUpdateBackendsTriggersReloadOnce(t *testing.T) {
+	lb := NewLoadBalancer(backends(10), fastOpts())
+	lb.UpdateBackends(backends(8))
+	lb.UpdateBackends(backends(8)) // identical list: no reload
+	if lb.Reloads() != 1 {
+		t.Fatalf("reloads = %d, want 1", lb.Reloads())
+	}
+	if len(lb.Backends()) != 8 {
+		t.Fatalf("backends = %d, want 8", len(lb.Backends()))
+	}
+}
+
+func TestReloadPenaltyApplied(t *testing.T) {
+	opts := fastOpts()
+	lb := NewLoadBalancer(backends(10), opts)
+	lb.UpdateBackends(backends(9))
+	r := lb.ServeRequest()
+	if r.Latency < opts.BaseLatency+opts.ReloadPenalty {
+		t.Fatalf("latency during reload = %v, want at least %v", r.Latency, opts.BaseLatency+opts.ReloadPenalty)
+	}
+	time.Sleep(opts.ReloadDuration + 10*time.Millisecond)
+	r = lb.ServeRequest()
+	if r.Latency != opts.BaseLatency {
+		t.Fatalf("latency after reload = %v, want base %v", r.Latency, opts.BaseLatency)
+	}
+}
+
+func TestDeadBackendTimeoutUntilMembershipCatchesUp(t *testing.T) {
+	opts := fastOpts()
+	bs := backends(5)
+	lb := NewLoadBalancer(bs, opts)
+	lb.MarkActuallyDead(bs[2])
+	timedOut := 0
+	for i := 0; i < 10; i++ {
+		if lb.ServeRequest().TimedOut {
+			timedOut++
+		}
+	}
+	if timedOut == 0 {
+		t.Fatal("requests to a dead-but-configured backend should time out")
+	}
+	// Once the membership layer removes it, no more timeouts (after reload).
+	alive := append(append([]node.Addr(nil), bs[:2]...), bs[3:]...)
+	lb.UpdateBackends(alive)
+	time.Sleep(opts.ReloadDuration + 10*time.Millisecond)
+	for i := 0; i < 10; i++ {
+		if lb.ServeRequest().TimedOut {
+			t.Fatal("request timed out after the dead backend was removed")
+		}
+	}
+}
+
+func TestBatchedRemovalCausesFewerReloadsThanIncremental(t *testing.T) {
+	// This is the Figure 13 contrast: Rapid delivers one multi-node change
+	// (one reload); Memberlist delivers the failures one at a time (many
+	// reloads, each with its latency penalty window).
+	opts := fastOpts()
+	bs := backends(50)
+
+	rapidLB := NewLoadBalancer(bs, opts)
+	rapidLB.UpdateBackends(bs[10:]) // single batched removal of 10 backends
+	if rapidLB.Reloads() != 1 {
+		t.Fatalf("batched removal should cause exactly 1 reload, got %d", rapidLB.Reloads())
+	}
+
+	serfLB := NewLoadBalancer(bs, opts)
+	for i := 9; i >= 0; i-- {
+		serfLB.UpdateBackends(bs[i:])
+	}
+	if serfLB.Reloads() != 10 {
+		t.Fatalf("incremental removal should cause 10 reloads, got %d", serfLB.Reloads())
+	}
+}
+
+func TestEmptyBackendListTimesOut(t *testing.T) {
+	lb := NewLoadBalancer(nil, fastOpts())
+	if r := lb.ServeRequest(); !r.TimedOut {
+		t.Fatal("requests with no backends should time out")
+	}
+}
+
+func TestRunWorkloadProducesResults(t *testing.T) {
+	lb := NewLoadBalancer(backends(5), fastOpts())
+	results := lb.RunWorkload(200, 200*time.Millisecond)
+	if len(results) < 10 {
+		t.Fatalf("workload produced only %d results", len(results))
+	}
+	for i := 1; i < len(results); i++ {
+		if results[i].At.Before(results[i-1].At) {
+			t.Fatal("results not sorted by time")
+		}
+	}
+}

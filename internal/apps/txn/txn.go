@@ -1,0 +1,274 @@
+// Package txn models the distributed transactional data platform of §7 of
+// the paper ("Experience with end-to-end workloads"). The platform consists
+// of a fleet of data servers plus a single transaction serialization server
+// (as in Google Megastore or Apache Omid); every transaction must pass
+// through the serialization server, and when the membership layer declares
+// that server failed, the platform performs a failover during which the
+// workload is paused.
+//
+// The membership layer is pluggable: the paper compares the platform's
+// original all-to-all gossip failure detector (package gossipfd) against
+// Rapid. Under a packet blackhole between the serialization server and one
+// data server, the gossip detector repeatedly removes and re-adds the
+// serialization server, each time triggering a failover and pausing clients;
+// Rapid's L-of-K aggregation never removes it and the workload is
+// uninterrupted. This model measures exactly the quantity of Figure 12:
+// end-to-end transaction latency over time, plus total throughput.
+package txn
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/node"
+)
+
+// MembershipSource abstracts the membership layer feeding the platform.
+type MembershipSource interface {
+	// AliveServers returns the servers currently believed alive.
+	AliveServers() []node.Addr
+}
+
+// Options tune the platform model.
+type Options struct {
+	// BaseLatency is the service time of a transaction in steady state.
+	BaseLatency time.Duration
+	// FailoverPause is how long the platform pauses while electing and
+	// bootstrapping a new serialization server.
+	FailoverPause time.Duration
+	// CheckInterval is how often the platform consults the membership layer.
+	CheckInterval time.Duration
+}
+
+// DefaultOptions returns a configuration that, scaled, matches the shape of
+// the Figure 12 experiment (latencies of tens of ms, failovers of seconds).
+func DefaultOptions() Options {
+	return Options{
+		BaseLatency:   20 * time.Millisecond,
+		FailoverPause: 2 * time.Second,
+		CheckInterval: 100 * time.Millisecond,
+	}
+}
+
+// Scaled divides every duration by factor.
+func (o Options) Scaled(factor float64) Options {
+	if factor <= 0 {
+		return o
+	}
+	scale := func(d time.Duration) time.Duration {
+		s := time.Duration(float64(d) / factor)
+		if s < time.Millisecond {
+			s = time.Millisecond
+		}
+		return s
+	}
+	o.BaseLatency = scale(o.BaseLatency)
+	o.FailoverPause = scale(o.FailoverPause)
+	o.CheckInterval = scale(o.CheckInterval)
+	return o
+}
+
+// Platform is the transactional data platform driven by a membership source.
+type Platform struct {
+	opts    Options
+	servers []node.Addr
+	source  MembershipSource
+
+	mu              sync.Mutex
+	serialization   node.Addr
+	failoverUntil   time.Time
+	failovers       int
+	stopCh          chan struct{}
+	wg              sync.WaitGroup
+	stopped         bool
+	lastMembership  map[node.Addr]bool
+	membershipFlaps int
+}
+
+// NewPlatform creates a platform over the given data servers. The
+// serialization server is always the lexicographically smallest alive server,
+// which mirrors "the system has only one active serialization server".
+func NewPlatform(servers []node.Addr, source MembershipSource, opts Options) *Platform {
+	sorted := append([]node.Addr(nil), servers...)
+	node.SortAddrs(sorted)
+	p := &Platform{
+		opts:           opts,
+		servers:        sorted,
+		source:         source,
+		stopCh:         make(chan struct{}),
+		lastMembership: make(map[node.Addr]bool),
+	}
+	p.serialization = p.pickSerializationServer(sorted)
+	for _, s := range sorted {
+		p.lastMembership[s] = true
+	}
+	p.wg.Add(1)
+	go p.watchLoop()
+	return p
+}
+
+// Stop halts the platform's membership watcher.
+func (p *Platform) Stop() {
+	p.mu.Lock()
+	if p.stopped {
+		p.mu.Unlock()
+		return
+	}
+	p.stopped = true
+	p.mu.Unlock()
+	close(p.stopCh)
+	p.wg.Wait()
+}
+
+// SerializationServer returns the currently active serialization server.
+func (p *Platform) SerializationServer() node.Addr {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.serialization
+}
+
+// Failovers returns how many serialization-server failovers have occurred.
+func (p *Platform) Failovers() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.failovers
+}
+
+// MembershipFlaps returns how many alive/dead transitions the platform has
+// observed from its membership source (a direct measure of instability).
+func (p *Platform) MembershipFlaps() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.membershipFlaps
+}
+
+func (p *Platform) pickSerializationServer(alive []node.Addr) node.Addr {
+	if len(alive) == 0 {
+		return ""
+	}
+	sorted := append([]node.Addr(nil), alive...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	return sorted[0]
+}
+
+// watchLoop reacts to membership changes: if the serialization server is no
+// longer in the membership, a failover begins (pausing transactions for
+// FailoverPause) and a new serialization server is selected.
+func (p *Platform) watchLoop() {
+	defer p.wg.Done()
+	for {
+		select {
+		case <-p.stopCh:
+			return
+		case <-time.After(p.opts.CheckInterval):
+		}
+		alive := p.source.AliveServers()
+		aliveSet := make(map[node.Addr]bool, len(alive))
+		for _, a := range alive {
+			aliveSet[a] = true
+		}
+		p.mu.Lock()
+		for _, s := range p.servers {
+			if p.lastMembership[s] != aliveSet[s] {
+				p.membershipFlaps++
+				p.lastMembership[s] = aliveSet[s]
+			}
+		}
+		// The serialization-server role follows a fixed priority order over
+		// the alive set, so any membership change that alters the preferred
+		// holder — removal of the current one, or reappearance of a
+		// higher-priority one — forces a reconfiguration. This is what makes
+		// a flapping failure detector so damaging in Figure 12.
+		preferred := p.pickSerializationServer(alive)
+		if preferred != p.serialization {
+			if p.serialization != "" || preferred == "" {
+				p.failovers++
+				p.failoverUntil = time.Now().Add(p.opts.FailoverPause)
+			}
+			p.serialization = preferred
+		}
+		p.mu.Unlock()
+	}
+}
+
+// TxnResult is one transaction's outcome.
+type TxnResult struct {
+	At      time.Time
+	Latency time.Duration
+}
+
+// SubmitTransaction executes one transaction: it waits out the failover that
+// is in progress when it arrives (if any) and then incurs the base service
+// latency. Only the pause observed at submission time is paid, so a
+// continuously flapping membership degrades latency and throughput — as in
+// Figure 12 — without starving clients completely.
+func (p *Platform) SubmitTransaction() TxnResult {
+	start := time.Now()
+	p.mu.Lock()
+	pauseUntil := p.failoverUntil
+	hasServer := p.serialization != ""
+	p.mu.Unlock()
+	if !hasServer {
+		time.Sleep(p.opts.CheckInterval)
+	}
+	if wait := time.Until(pauseUntil); wait > 0 {
+		time.Sleep(wait)
+	}
+	time.Sleep(p.opts.BaseLatency)
+	return TxnResult{At: start, Latency: time.Since(start)}
+}
+
+// RunWorkload submits transactions back-to-back from `clients` concurrent
+// clients for the given duration and returns every result. Throughput is
+// len(results)/duration.
+func (p *Platform) RunWorkload(clients int, duration time.Duration) []TxnResult {
+	if clients <= 0 {
+		clients = 1
+	}
+	var mu sync.Mutex
+	var results []TxnResult
+	deadline := time.Now().Add(duration)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				r := p.SubmitTransaction()
+				mu.Lock()
+				results = append(results, r)
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	sort.Slice(results, func(i, j int) bool { return results[i].At.Before(results[j].At) })
+	return results
+}
+
+// StaticMembership is a MembershipSource with a fixed alive set, useful in
+// tests and as a "perfectly stable" control.
+type StaticMembership struct {
+	mu    sync.Mutex
+	alive []node.Addr
+}
+
+// NewStaticMembership creates a static source.
+func NewStaticMembership(alive []node.Addr) *StaticMembership {
+	return &StaticMembership{alive: append([]node.Addr(nil), alive...)}
+}
+
+// AliveServers implements MembershipSource.
+func (s *StaticMembership) AliveServers() []node.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]node.Addr(nil), s.alive...)
+}
+
+// Set replaces the alive set.
+func (s *StaticMembership) Set(alive []node.Addr) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.alive = append([]node.Addr(nil), alive...)
+}

@@ -1,0 +1,128 @@
+package txn
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/node"
+)
+
+func servers(n int) []node.Addr {
+	out := make([]node.Addr, n)
+	for i := range out {
+		out[i] = node.Addr(fmt.Sprintf("data-%02d:1", i))
+	}
+	return out
+}
+
+func fastOpts() Options { return DefaultOptions().Scaled(20) }
+
+func TestSerializationServerIsLowestAddress(t *testing.T) {
+	s := servers(5)
+	src := NewStaticMembership(s)
+	p := NewPlatform(s, src, fastOpts())
+	defer p.Stop()
+	if p.SerializationServer() != s[0] {
+		t.Fatalf("serialization server = %v, want %v", p.SerializationServer(), s[0])
+	}
+}
+
+func TestStableMembershipNoFailovers(t *testing.T) {
+	s := servers(4)
+	src := NewStaticMembership(s)
+	p := NewPlatform(s, src, fastOpts())
+	defer p.Stop()
+	results := p.RunWorkload(2, 300*time.Millisecond)
+	if len(results) == 0 {
+		t.Fatal("no transactions completed")
+	}
+	if p.Failovers() != 0 {
+		t.Fatalf("failovers = %d, want 0 under stable membership", p.Failovers())
+	}
+	for _, r := range results {
+		if r.Latency > 10*fastOpts().BaseLatency {
+			t.Fatalf("transaction latency %v is excessive under stable membership", r.Latency)
+		}
+	}
+}
+
+func TestMembershipRemovalTriggersFailoverAndPause(t *testing.T) {
+	s := servers(4)
+	src := NewStaticMembership(s)
+	opts := fastOpts()
+	p := NewPlatform(s, src, opts)
+	defer p.Stop()
+
+	// Remove the serialization server from the membership.
+	src.Set(s[1:])
+	deadline := time.Now().Add(5 * time.Second)
+	for p.Failovers() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if p.Failovers() != 1 {
+		t.Fatalf("failovers = %d, want 1", p.Failovers())
+	}
+	if p.SerializationServer() != s[1] {
+		t.Fatalf("new serialization server = %v, want %v", p.SerializationServer(), s[1])
+	}
+	// A transaction submitted during the failover pause takes much longer
+	// than the base latency.
+	r := p.SubmitTransaction()
+	if r.Latency < opts.FailoverPause/2 {
+		t.Fatalf("transaction during failover took %v, expected a pause near %v", r.Latency, opts.FailoverPause)
+	}
+}
+
+func TestFlappingMembershipCausesRepeatedFailovers(t *testing.T) {
+	s := servers(4)
+	src := NewStaticMembership(s)
+	opts := fastOpts()
+	p := NewPlatform(s, src, opts)
+	defer p.Stop()
+
+	// Flap the serialization server in and out of the membership.
+	for i := 0; i < 3; i++ {
+		src.Set(s[1:])
+		time.Sleep(4 * opts.CheckInterval)
+		src.Set(s)
+		time.Sleep(4 * opts.CheckInterval)
+	}
+	if p.Failovers() < 2 {
+		t.Fatalf("failovers = %d, want repeated failovers under a flapping membership", p.Failovers())
+	}
+	if p.MembershipFlaps() < 4 {
+		t.Fatalf("membership flaps = %d, want several", p.MembershipFlaps())
+	}
+}
+
+func TestThroughputDropsUnderFlapping(t *testing.T) {
+	s := servers(4)
+	opts := fastOpts()
+
+	stableSrc := NewStaticMembership(s)
+	stable := NewPlatform(s, stableSrc, opts)
+	stableResults := stable.RunWorkload(2, 400*time.Millisecond)
+	stable.Stop()
+
+	flappySrc := NewStaticMembership(s)
+	flappy := NewPlatform(s, flappySrc, opts)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 4; i++ {
+			flappySrc.Set(s[1:])
+			time.Sleep(50 * time.Millisecond)
+			flappySrc.Set(s)
+			time.Sleep(50 * time.Millisecond)
+		}
+	}()
+	flappyResults := flappy.RunWorkload(2, 400*time.Millisecond)
+	<-done
+	flappy.Stop()
+
+	if len(flappyResults) >= len(stableResults) {
+		t.Fatalf("throughput under flapping membership (%d txns) should be lower than stable (%d txns)",
+			len(flappyResults), len(stableResults))
+	}
+}

@@ -1,0 +1,119 @@
+// Package broadcast provides the dissemination primitives used for alerts and
+// consensus votes. Rapid's default is a best-effort unicast-to-all
+// broadcaster (the counting fast path only needs a best-effort channel); a
+// fanout gossip broadcaster is provided as an alternative with lower
+// per-sender cost at the price of extra hops.
+package broadcast
+
+import (
+	"math/rand"
+	"sync"
+
+	"repro/internal/node"
+	"repro/internal/remoting"
+	"repro/internal/transport"
+)
+
+// Broadcaster delivers a request to every member of the current membership.
+type Broadcaster interface {
+	// Broadcast sends req to all current members, best-effort.
+	Broadcast(req *remoting.Request)
+	// SetMembership replaces the recipient list after a view change.
+	SetMembership(members []node.Addr)
+}
+
+// UnicastToAll sends each broadcast directly to every member. This mirrors
+// Rapid's default broadcaster: O(N) messages per broadcast from the sender.
+type UnicastToAll struct {
+	client transport.Client
+
+	mu      sync.RWMutex
+	members []node.Addr
+}
+
+// NewUnicastToAll creates a broadcaster sending via the given client.
+func NewUnicastToAll(client transport.Client) *UnicastToAll {
+	return &UnicastToAll{client: client}
+}
+
+// SetMembership implements Broadcaster.
+func (b *UnicastToAll) SetMembership(members []node.Addr) {
+	copied := make([]node.Addr, len(members))
+	copy(copied, members)
+	b.mu.Lock()
+	b.members = copied
+	b.mu.Unlock()
+}
+
+// Broadcast implements Broadcaster.
+func (b *UnicastToAll) Broadcast(req *remoting.Request) {
+	b.mu.RLock()
+	members := b.members
+	b.mu.RUnlock()
+	for _, m := range members {
+		b.client.SendBestEffort(m, req)
+	}
+}
+
+// Members returns the current recipient list (for tests).
+func (b *UnicastToAll) Members() []node.Addr {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	out := make([]node.Addr, len(b.members))
+	copy(out, b.members)
+	return out
+}
+
+// Gossip forwards each broadcast to a random fanout subset of the membership;
+// receivers are expected to re-broadcast (the membership service does this for
+// alert messages). It reduces per-sender cost from O(N) to O(fanout).
+type Gossip struct {
+	client transport.Client
+	fanout int
+	rng    *rand.Rand
+	rngMu  sync.Mutex
+
+	mu      sync.RWMutex
+	members []node.Addr
+}
+
+// NewGossip creates a gossip broadcaster with the given fanout (minimum 1).
+func NewGossip(client transport.Client, fanout int, seed int64) *Gossip {
+	if fanout < 1 {
+		fanout = 1
+	}
+	return &Gossip{client: client, fanout: fanout, rng: rand.New(rand.NewSource(seed))}
+}
+
+// SetMembership implements Broadcaster.
+func (g *Gossip) SetMembership(members []node.Addr) {
+	copied := make([]node.Addr, len(members))
+	copy(copied, members)
+	g.mu.Lock()
+	g.members = copied
+	g.mu.Unlock()
+}
+
+// Broadcast implements Broadcaster: the request is sent to `fanout` members
+// chosen uniformly at random (without replacement).
+func (g *Gossip) Broadcast(req *remoting.Request) {
+	g.mu.RLock()
+	members := g.members
+	g.mu.RUnlock()
+	if len(members) == 0 {
+		return
+	}
+	g.rngMu.Lock()
+	perm := g.rng.Perm(len(members))
+	g.rngMu.Unlock()
+	count := g.fanout
+	if count > len(members) {
+		count = len(members)
+	}
+	for i := 0; i < count; i++ {
+		g.client.SendBestEffort(members[perm[i]], req)
+	}
+}
+
+var _ Broadcaster = (*UnicastToAll)(nil)
+var _ Broadcaster = (*Gossip)(nil)

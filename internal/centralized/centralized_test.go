@@ -1,0 +1,237 @@
+package centralized
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/node"
+	"repro/internal/simnet"
+)
+
+func scaledEnsembleSettings() EnsembleSettings {
+	s := DefaultEnsembleSettings()
+	s.ConsensusFallbackBase = 200 * time.Millisecond
+	return s
+}
+
+func scaledMemberSettings() MemberSettings {
+	s := DefaultMemberSettings()
+	s.PollInterval = 30 * time.Millisecond
+	s.ProbeInterval = 15 * time.Millisecond
+	s.ProbeTimeout = 10 * time.Millisecond
+	s.JoinTimeout = 10 * time.Second
+	return s
+}
+
+func ensembleAddrs() []node.Addr {
+	return []node.Addr{"ens-a:1", "ens-b:1", "ens-c:1"}
+}
+
+func memberAddr(i int) node.Addr { return node.Addr(fmt.Sprintf("member-%02d:1", i)) }
+
+func waitUntil(t *testing.T, timeout time.Duration, cond func() bool) bool {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return true
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return cond()
+}
+
+func TestEnsembleBootAndJoin(t *testing.T) {
+	node.SeedIDGenerator(101)
+	net := simnet.New(simnet.Options{Seed: 1})
+	ensemble, err := StartEnsemble(ensembleAddrs(), scaledEnsembleSettings(), net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		for _, e := range ensemble {
+			e.Stop()
+		}
+	}()
+
+	const n = 6
+	var members []*Member
+	for i := 0; i < n; i++ {
+		m, err := JoinViaEnsemble(memberAddr(i), ensembleAddrs(), scaledMemberSettings(), net)
+		if err != nil {
+			t.Fatalf("join %d: %v", i, err)
+		}
+		members = append(members, m)
+	}
+	defer func() {
+		for _, m := range members {
+			m.Stop()
+		}
+	}()
+
+	if !waitUntil(t, 20*time.Second, func() bool {
+		for _, e := range ensemble {
+			if e.ClusterSize() != n {
+				return false
+			}
+		}
+		for _, m := range members {
+			if m.Size() != n {
+				return false
+			}
+		}
+		return true
+	}) {
+		t.Fatalf("ensemble/members did not converge: ensemble=%d members[0]=%d",
+			ensemble[0].ClusterSize(), members[0].Size())
+	}
+
+	// All ensemble members agree on the configuration.
+	cfg := ensemble[0].ConfigurationID()
+	for _, e := range ensemble {
+		if e.ConfigurationID() != cfg {
+			t.Fatal("ensemble members disagree on the configuration")
+		}
+	}
+	for _, m := range members {
+		if m.ConfigurationID() != cfg {
+			t.Fatal("a member holds a configuration different from the ensemble's")
+		}
+	}
+}
+
+func TestEnsembleRemovesCrashedMember(t *testing.T) {
+	node.SeedIDGenerator(102)
+	net := simnet.New(simnet.Options{Seed: 2})
+	ensemble, err := StartEnsemble(ensembleAddrs(), scaledEnsembleSettings(), net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		for _, e := range ensemble {
+			e.Stop()
+		}
+	}()
+	const n = 8
+	var members []*Member
+	for i := 0; i < n; i++ {
+		m, err := JoinViaEnsemble(memberAddr(i), ensembleAddrs(), scaledMemberSettings(), net)
+		if err != nil {
+			t.Fatalf("join %d: %v", i, err)
+		}
+		members = append(members, m)
+	}
+	defer func() {
+		for _, m := range members {
+			m.Stop()
+		}
+	}()
+	if !waitUntil(t, 20*time.Second, func() bool { return ensemble[0].ClusterSize() == n }) {
+		t.Fatal("cluster did not form")
+	}
+
+	victim := members[3]
+	net.Crash(victim.Addr())
+
+	if !waitUntil(t, 30*time.Second, func() bool {
+		for _, e := range ensemble {
+			if e.ClusterSize() != n-1 {
+				return false
+			}
+		}
+		return true
+	}) {
+		t.Fatalf("ensemble did not remove the crashed member: size=%d", ensemble[0].ClusterSize())
+	}
+	// Other members learn the new view through polling.
+	if !waitUntil(t, 10*time.Second, func() bool {
+		for i, m := range members {
+			if i == 3 {
+				continue
+			}
+			if m.Size() != n-1 {
+				return false
+			}
+		}
+		return true
+	}) {
+		t.Fatal("surviving members did not learn the new configuration")
+	}
+}
+
+func TestEnsembleGracefulLeave(t *testing.T) {
+	node.SeedIDGenerator(103)
+	net := simnet.New(simnet.Options{Seed: 3})
+	ensemble, err := StartEnsemble(ensembleAddrs(), scaledEnsembleSettings(), net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		for _, e := range ensemble {
+			e.Stop()
+		}
+	}()
+	const n = 4
+	var members []*Member
+	for i := 0; i < n; i++ {
+		m, err := JoinViaEnsemble(memberAddr(i), ensembleAddrs(), scaledMemberSettings(), net)
+		if err != nil {
+			t.Fatal(err)
+		}
+		members = append(members, m)
+	}
+	defer func() {
+		for _, m := range members {
+			m.Stop()
+		}
+	}()
+	if !waitUntil(t, 20*time.Second, func() bool { return ensemble[0].ClusterSize() == n }) {
+		t.Fatal("cluster did not form")
+	}
+	members[n-1].Leave()
+	if !waitUntil(t, 20*time.Second, func() bool { return ensemble[0].ClusterSize() == n-1 }) {
+		t.Fatal("graceful leave was not applied by the ensemble")
+	}
+}
+
+func TestMemberSubscriberNotified(t *testing.T) {
+	node.SeedIDGenerator(104)
+	net := simnet.New(simnet.Options{Seed: 4})
+	ensemble, err := StartEnsemble(ensembleAddrs(), scaledEnsembleSettings(), net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		for _, e := range ensemble {
+			e.Stop()
+		}
+	}()
+	first, err := JoinViaEnsemble(memberAddr(0), ensembleAddrs(), scaledMemberSettings(), net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer first.Stop()
+
+	notified := make(chan int, 16)
+	first.Subscribe(func(_ uint64, members []node.Endpoint) {
+		notified <- len(members)
+	})
+	second, err := JoinViaEnsemble(memberAddr(1), ensembleAddrs(), scaledMemberSettings(), net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer second.Stop()
+
+	deadline := time.After(20 * time.Second)
+	for {
+		select {
+		case n := <-notified:
+			if n == 2 {
+				return
+			}
+		case <-deadline:
+			t.Fatal("first member was never notified of the second member joining")
+		}
+	}
+}

@@ -1,0 +1,456 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/broadcast"
+	"repro/internal/cutdetect"
+	"repro/internal/edgefd"
+	"repro/internal/fastpaxos"
+	"repro/internal/node"
+	"repro/internal/remoting"
+	"repro/internal/simclock"
+	"repro/internal/transport"
+	"repro/internal/view"
+)
+
+// Errors returned by the public API.
+var (
+	errInvalidWatermarks = errors.New("core: require 1 <= L <= H <= K")
+	// ErrJoinFailed indicates the joiner exhausted its join attempts.
+	ErrJoinFailed = errors.New("core: join failed after all attempts")
+	// ErrAddressInUse indicates the cluster already contains this address.
+	ErrAddressInUse = errors.New("core: hostname already in the membership ring")
+	// ErrStopped indicates an operation on a stopped cluster handle.
+	ErrStopped = errors.New("core: cluster handle is stopped")
+)
+
+// StatusChange describes one endpoint's transition in a view change.
+type StatusChange struct {
+	Endpoint node.Endpoint
+	// Joined is true when the endpoint was added, false when removed.
+	Joined bool
+}
+
+// ViewChange is delivered to subscribers on every configuration change.
+type ViewChange struct {
+	// ConfigurationID identifies the new configuration.
+	ConfigurationID uint64
+	// Members is the full membership of the new configuration.
+	Members []node.Endpoint
+	// Changes lists the endpoints added or removed relative to the previous
+	// configuration.
+	Changes []StatusChange
+}
+
+// Subscriber receives view-change notifications. Callbacks must not block:
+// they are invoked synchronously on the protocol path.
+type Subscriber func(ViewChange)
+
+// Cluster is one process' handle on the Rapid membership service. Create one
+// with StartCluster (to bootstrap a new cluster) or JoinCluster (to join an
+// existing one through seed processes).
+type Cluster struct {
+	settings Settings
+	net      transport.Network
+	client   transport.Client
+	clock    simclock.Clock
+	me       node.Endpoint
+
+	mu            sync.Mutex
+	started       bool
+	stopped       bool
+	view          *view.View
+	cd            *cutdetect.Detector
+	consensus     *fastpaxos.FastPaxos
+	broadcaster   *broadcast.UnicastToAll
+	monitors      []edgefd.Monitor
+	pendingAlerts []remoting.AlertMessage
+	alertedEdges  map[node.Addr]bool
+	joinWaiters   map[node.Addr][]chan *remoting.JoinResponse
+	subscribers   []Subscriber
+	viewChanges   int
+
+	stopCh chan struct{}
+	wg     sync.WaitGroup
+}
+
+// StartCluster bootstraps a brand-new cluster consisting of just this
+// process. Other processes join it by listing this address in their seeds.
+func StartCluster(addr node.Addr, settings Settings, net transport.Network) (*Cluster, error) {
+	c, err := newCluster(addr, settings, net)
+	if err != nil {
+		return nil, err
+	}
+	self := c.me
+	if err := net.Register(addr, c); err != nil {
+		return nil, fmt.Errorf("core: register %s: %w", addr, err)
+	}
+	c.initialize([]node.Endpoint{self})
+	return c, nil
+}
+
+// JoinCluster joins an existing cluster through the given seed addresses
+// using Rapid's two-phase join protocol, and returns a started handle once
+// the view change admitting this process has been installed.
+func JoinCluster(addr node.Addr, seeds []node.Addr, settings Settings, net transport.Network) (*Cluster, error) {
+	c, err := newCluster(addr, settings, net)
+	if err != nil {
+		return nil, err
+	}
+	if err := net.Register(addr, c); err != nil {
+		return nil, fmt.Errorf("core: register %s: %w", addr, err)
+	}
+	members, err := c.runJoinProtocol(seeds)
+	if err != nil {
+		net.Deregister(addr)
+		return nil, err
+	}
+	c.initialize(members)
+	return c, nil
+}
+
+// newCluster builds the unstarted handle.
+func newCluster(addr node.Addr, settings Settings, net transport.Network) (*Cluster, error) {
+	if err := settings.validate(); err != nil {
+		return nil, err
+	}
+	me := node.Endpoint{Addr: addr, ID: node.NewID()}
+	if settings.Metadata != nil {
+		me = me.WithMetadata(settings.Metadata)
+	}
+	client := net.Client(addr)
+	c := &Cluster{
+		settings:     settings,
+		net:          net,
+		client:       client,
+		clock:        settings.Clock,
+		me:           me,
+		broadcaster:  broadcast.NewUnicastToAll(client),
+		alertedEdges: make(map[node.Addr]bool),
+		joinWaiters:  make(map[node.Addr][]chan *remoting.JoinResponse),
+		stopCh:       make(chan struct{}),
+	}
+	return c, nil
+}
+
+// initialize installs the first configuration and starts background work.
+func (c *Cluster) initialize(members []node.Endpoint) {
+	c.mu.Lock()
+	c.view = view.NewWithMembers(c.settings.K, members)
+	c.cd = cutdetect.New(c.settings.K, c.settings.H, c.settings.L)
+	c.broadcaster.SetMembership(c.view.MemberAddrs())
+	c.consensus = c.newConsensusLocked()
+	c.started = true
+	c.mu.Unlock()
+
+	c.restartMonitors()
+	c.wg.Add(2)
+	go c.alertBatchingLoop()
+	go c.reinforcementLoop()
+}
+
+// newConsensusLocked builds the consensus instance for the current view.
+// Callers must hold c.mu.
+func (c *Cluster) newConsensusLocked() *fastpaxos.FastPaxos {
+	members := c.view.MemberAddrs()
+	myIndex := sort.Search(len(members), func(i int) bool { return members[i] >= c.me.Addr })
+	return fastpaxos.New(fastpaxos.Config{
+		MyAddr:          c.me.Addr,
+		MyIndex:         myIndex,
+		MembershipSize:  c.view.Size(),
+		ConfigurationID: c.view.ConfigurationID(),
+		Client:          c.client,
+		Broadcaster:     c.broadcaster,
+		OnDecide:        c.onDecide,
+	})
+}
+
+// --- public accessors --------------------------------------------------------
+
+// Addr returns this process' listen address.
+func (c *Cluster) Addr() node.Addr { return c.me.Addr }
+
+// ID returns the logical identifier this process joined with.
+func (c *Cluster) ID() node.ID { return c.me.ID }
+
+// Size returns the number of members in the current configuration.
+func (c *Cluster) Size() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.view == nil {
+		return 0
+	}
+	return c.view.Size()
+}
+
+// Members returns the endpoints of the current configuration sorted by address.
+func (c *Cluster) Members() []node.Endpoint {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.view == nil {
+		return nil
+	}
+	return c.view.Members()
+}
+
+// ConfigurationID returns the identifier of the current configuration.
+func (c *Cluster) ConfigurationID() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.view == nil {
+		return 0
+	}
+	return c.view.ConfigurationID()
+}
+
+// IsMember reports whether this process is part of its own current view.
+// It becomes false if the rest of the cluster removed this process.
+func (c *Cluster) IsMember() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.view != nil && c.view.Contains(c.me.Addr)
+}
+
+// ViewChangeCount returns how many view changes this handle has applied.
+func (c *Cluster) ViewChangeCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.viewChanges
+}
+
+// Metadata returns the metadata registered for the given member address.
+func (c *Cluster) Metadata(addr node.Addr) (map[string]string, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.view == nil {
+		return nil, false
+	}
+	ep, ok := c.view.Member(addr)
+	if !ok {
+		return nil, false
+	}
+	return ep.Metadata, true
+}
+
+// Subscribe registers a view-change callback. It is invoked for every
+// configuration change applied after registration.
+func (c *Cluster) Subscribe(cb Subscriber) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.subscribers = append(c.subscribers, cb)
+}
+
+// Leave announces a graceful departure: observers of this process convert the
+// announcement into REMOVE alerts so a coordinated view change removes it.
+// The handle keeps serving protocol messages until Stop is called.
+func (c *Cluster) Leave() {
+	c.mu.Lock()
+	started := c.started
+	c.mu.Unlock()
+	if !started {
+		return
+	}
+	c.broadcaster.Broadcast(&remoting.Request{Leave: &remoting.LeaveMessage{Sender: c.me.Addr}})
+}
+
+// Stop halts all background work and deregisters from the transport. The
+// handle cannot be restarted.
+func (c *Cluster) Stop() {
+	c.mu.Lock()
+	if c.stopped {
+		c.mu.Unlock()
+		return
+	}
+	c.stopped = true
+	monitors := c.monitors
+	c.monitors = nil
+	c.mu.Unlock()
+
+	close(c.stopCh)
+	for _, m := range monitors {
+		m.Stop()
+	}
+	c.wg.Wait()
+	c.net.Deregister(c.me.Addr)
+}
+
+// restartMonitors replaces the edge failure detectors with ones for the
+// current set of subjects. Old monitors are stopped outside the lock because
+// their callbacks acquire it.
+func (c *Cluster) restartMonitors() {
+	c.mu.Lock()
+	old := c.monitors
+	c.monitors = nil
+	var subjects []node.Addr
+	if c.started && !c.stopped && c.view.Contains(c.me.Addr) {
+		if subs, err := c.view.SubjectsOf(c.me.Addr); err == nil {
+			seen := make(map[node.Addr]bool)
+			for _, s := range subs {
+				if s == c.me.Addr || seen[s] {
+					continue
+				}
+				seen[s] = true
+				subjects = append(subjects, s)
+			}
+		}
+	}
+	factory := c.settings.FailureDetector
+	var fresh []edgefd.Monitor
+	for _, s := range subjects {
+		m := factory(edgefd.Params{
+			Observer:  c.me.Addr,
+			Subject:   s,
+			Client:    c.client,
+			Clock:     c.clock,
+			Interval:  c.settings.ProbeInterval,
+			Timeout:   c.settings.ProbeTimeout,
+			OnFailure: c.onSubjectFailed,
+		})
+		fresh = append(fresh, m)
+	}
+	c.monitors = fresh
+	c.mu.Unlock()
+
+	for _, m := range old {
+		m.Stop()
+	}
+	for _, m := range fresh {
+		m.Start()
+	}
+}
+
+// onSubjectFailed converts an edge failure detector verdict into an
+// irrevocable REMOVE alert (enqueued for the next batch).
+func (c *Cluster) onSubjectFailed(subject node.Addr) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.started || c.stopped || !c.view.Contains(subject) {
+		return
+	}
+	if c.alertedEdges[subject] {
+		return
+	}
+	rings := c.view.RingNumbers(c.me.Addr, subject)
+	if len(rings) == 0 {
+		return
+	}
+	c.alertedEdges[subject] = true
+	c.enqueueAlertLocked(remoting.AlertMessage{
+		EdgeSrc:         c.me.Addr,
+		EdgeDst:         subject,
+		Status:          remoting.EdgeDown,
+		ConfigurationID: c.view.ConfigurationID(),
+		RingNumbers:     rings,
+	})
+}
+
+// enqueueAlertLocked buffers an alert for the next batch broadcast.
+// Callers must hold c.mu.
+func (c *Cluster) enqueueAlertLocked(alert remoting.AlertMessage) {
+	c.pendingAlerts = append(c.pendingAlerts, alert)
+}
+
+// alertBatchingLoop flushes buffered alerts every BatchingWindow (§6).
+func (c *Cluster) alertBatchingLoop() {
+	defer c.wg.Done()
+	for {
+		select {
+		case <-c.stopCh:
+			return
+		case <-c.clock.After(c.settings.BatchingWindow):
+		}
+		c.mu.Lock()
+		alerts := c.pendingAlerts
+		c.pendingAlerts = nil
+		c.mu.Unlock()
+		if len(alerts) == 0 {
+			continue
+		}
+		c.broadcaster.Broadcast(&remoting.Request{Alerts: &remoting.BatchedAlertMessage{
+			Sender: c.me.Addr,
+			Alerts: alerts,
+		}})
+	}
+}
+
+// reinforcementLoop echoes REMOVE alerts for subjects stuck in the unstable
+// report region longer than ReinforcementTimeout (§4.2, liveness).
+func (c *Cluster) reinforcementLoop() {
+	defer c.wg.Done()
+	for {
+		select {
+		case <-c.stopCh:
+			return
+		case <-c.clock.After(c.settings.ReinforcementTick):
+		}
+		c.mu.Lock()
+		if !c.started || c.stopped {
+			c.mu.Unlock()
+			continue
+		}
+		stuck := c.cd.UnstableLongerThan(c.clock.Now(), c.settings.ReinforcementTimeout)
+		for _, subject := range stuck {
+			if !c.view.Contains(subject) || c.alertedEdges[subject] {
+				continue
+			}
+			rings := c.view.RingNumbers(c.me.Addr, subject)
+			if len(rings) == 0 {
+				continue
+			}
+			c.alertedEdges[subject] = true
+			c.enqueueAlertLocked(remoting.AlertMessage{
+				EdgeSrc:         c.me.Addr,
+				EdgeDst:         subject,
+				Status:          remoting.EdgeDown,
+				ConfigurationID: c.view.ConfigurationID(),
+				RingNumbers:     rings,
+			})
+		}
+		c.mu.Unlock()
+	}
+}
+
+// scheduleFallback arms the classical-Paxos fallback for the given consensus
+// instance: if it has not decided within the base delay plus a per-node
+// jitter, this node starts (and keeps retrying) recovery rounds.
+func (c *Cluster) scheduleFallback(cons *fastpaxos.FastPaxos, myIndex, membershipSize int) {
+	base := c.settings.ConsensusFallbackBase
+	jitterSteps := 1
+	if membershipSize > 0 {
+		jitterSteps = myIndex % 8
+	}
+	delay := base + time.Duration(jitterSteps)*base/8
+	c.mu.Lock()
+	if c.stopped {
+		c.mu.Unlock()
+		return
+	}
+	c.wg.Add(1)
+	c.mu.Unlock()
+	go func() {
+		defer c.wg.Done()
+		select {
+		case <-c.stopCh:
+			return
+		case <-c.clock.After(delay):
+		}
+		for round := 0; round < 8; round++ {
+			if cons.Decided() {
+				return
+			}
+			cons.StartClassicalRound()
+			select {
+			case <-c.stopCh:
+				return
+			case <-c.clock.After(base):
+			}
+		}
+	}()
+}
+
+var _ transport.Handler = (*Cluster)(nil)

@@ -1,0 +1,477 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/node"
+	"repro/internal/remoting"
+	"repro/internal/simnet"
+	"repro/internal/view"
+)
+
+// contextWithTimeout returns a context cancelled when the test ends.
+func contextWithTimeout(t *testing.T, d time.Duration) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), d)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+// preJoinRequest builds a phase-1 join request for tests.
+func preJoinRequest(joiner node.Addr, id node.ID) *remoting.Request {
+	return &remoting.Request{PreJoin: &remoting.PreJoinRequest{Sender: joiner, JoinerID: id}}
+}
+
+// testSettings returns compressed-time settings so multi-node integration
+// tests finish quickly while exercising the same code paths as production.
+func testSettings() Settings {
+	return ScaledSettings(50)
+}
+
+func waitUntil(t *testing.T, timeout time.Duration, cond func() bool) bool {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return true
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return cond()
+}
+
+func addr(i int) node.Addr { return node.Addr(fmt.Sprintf("10.0.0.%d:7000", i)) }
+
+// startCluster creates a seed plus n-1 joiners sequentially and waits for
+// every handle to converge to size n.
+func startCluster(t *testing.T, net *simnet.Network, n int, settings Settings) []*Cluster {
+	t.Helper()
+	node.SeedIDGenerator(time.Now().UnixNano())
+	seed, err := StartCluster(addr(0), settings, net)
+	if err != nil {
+		t.Fatalf("StartCluster: %v", err)
+	}
+	clusters := []*Cluster{seed}
+	for i := 1; i < n; i++ {
+		c, err := JoinCluster(addr(i), []node.Addr{addr(0)}, settings, net)
+		if err != nil {
+			t.Fatalf("JoinCluster(%d): %v", i, err)
+		}
+		clusters = append(clusters, c)
+	}
+	if !waitUntil(t, 30*time.Second, func() bool {
+		for _, c := range clusters {
+			if c.Size() != n {
+				return false
+			}
+		}
+		return true
+	}) {
+		sizes := make([]int, len(clusters))
+		for i, c := range clusters {
+			sizes[i] = c.Size()
+		}
+		t.Fatalf("cluster did not converge to %d members: sizes=%v", n, sizes)
+	}
+	return clusters
+}
+
+func stopAll(clusters []*Cluster) {
+	var wg sync.WaitGroup
+	for _, c := range clusters {
+		wg.Add(1)
+		go func(c *Cluster) {
+			defer wg.Done()
+			c.Stop()
+		}(c)
+	}
+	wg.Wait()
+}
+
+func TestStartClusterSingleNode(t *testing.T) {
+	net := simnet.New(simnet.Options{Seed: 1})
+	c, err := StartCluster("seed:1", testSettings(), net)
+	if err != nil {
+		t.Fatalf("StartCluster: %v", err)
+	}
+	defer c.Stop()
+	if c.Size() != 1 {
+		t.Fatalf("Size = %d, want 1", c.Size())
+	}
+	if !c.IsMember() {
+		t.Fatal("the bootstrap node should be a member of its own view")
+	}
+	if c.ConfigurationID() == 0 {
+		t.Fatal("configuration ID should be non-zero")
+	}
+	if c.Members()[0].Addr != "seed:1" {
+		t.Fatalf("unexpected members: %v", c.Members())
+	}
+}
+
+func TestSettingsValidation(t *testing.T) {
+	net := simnet.New(simnet.Options{Seed: 1})
+	bad := testSettings()
+	bad.K, bad.H, bad.L = 10, 3, 5 // L > H
+	if _, err := StartCluster("seed:1", bad, net); err == nil {
+		t.Fatal("invalid watermarks should be rejected")
+	}
+}
+
+func TestJoinRequiresSeed(t *testing.T) {
+	net := simnet.New(simnet.Options{Seed: 1})
+	if _, err := JoinCluster("a:1", nil, testSettings(), net); err == nil {
+		t.Fatal("joining with no seeds should fail")
+	}
+}
+
+func TestJoinUnreachableSeedFails(t *testing.T) {
+	net := simnet.New(simnet.Options{Seed: 1})
+	s := testSettings()
+	s.JoinAttempts = 2
+	if _, err := JoinCluster("a:1", []node.Addr{"nowhere:1"}, s, net); err == nil {
+		t.Fatal("joining through an unreachable seed should fail")
+	}
+}
+
+func TestSequentialJoinsConvergeConsistently(t *testing.T) {
+	net := simnet.New(simnet.Options{Seed: 2})
+	clusters := startCluster(t, net, 6, testSettings())
+	defer stopAll(clusters)
+
+	configID := clusters[0].ConfigurationID()
+	membersKey := fmt.Sprint(clusters[0].Members())
+	for i, c := range clusters {
+		if c.ConfigurationID() != configID {
+			t.Errorf("node %d has configuration %d, want %d (consistency violation)", i, c.ConfigurationID(), configID)
+		}
+		if fmt.Sprint(c.Members()) != membersKey {
+			t.Errorf("node %d has a different membership list", i)
+		}
+	}
+}
+
+func TestDuplicateAddressIsRejectedAtPreJoin(t *testing.T) {
+	net := simnet.New(simnet.Options{Seed: 3})
+	clusters := startCluster(t, net, 3, testSettings())
+	defer stopAll(clusters)
+	// A pre-join request for an address that is already a member must be
+	// answered with HOSTNAME_ALREADY_IN_RING (§6 join safety check).
+	resp, err := net.Client("imposter:1").Send(
+		contextWithTimeout(t, time.Second), addr(0),
+		preJoinRequest(addr(1), node.NewID()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.PreJoin == nil || resp.PreJoin.Status.String() != "HOSTNAME_ALREADY_IN_RING" {
+		t.Fatalf("unexpected pre-join response: %+v", resp.PreJoin)
+	}
+}
+
+func TestConcurrentJoins(t *testing.T) {
+	net := simnet.New(simnet.Options{Seed: 4})
+	settings := testSettings()
+	node.SeedIDGenerator(99)
+	seed, err := StartCluster(addr(0), settings, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const joiners = 12
+	var mu sync.Mutex
+	clusters := []*Cluster{seed}
+	var wg sync.WaitGroup
+	for i := 1; i <= joiners; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := JoinCluster(addr(i), []node.Addr{addr(0)}, settings, net)
+			if err != nil {
+				t.Errorf("join %d failed: %v", i, err)
+				return
+			}
+			mu.Lock()
+			clusters = append(clusters, c)
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	defer func() {
+		mu.Lock()
+		defer mu.Unlock()
+		stopAll(clusters)
+	}()
+	if !waitUntil(t, 30*time.Second, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		if len(clusters) != joiners+1 {
+			return false
+		}
+		for _, c := range clusters {
+			if c.Size() != joiners+1 {
+				return false
+			}
+		}
+		return true
+	}) {
+		mu.Lock()
+		sizes := []int{}
+		for _, c := range clusters {
+			sizes = append(sizes, c.Size())
+		}
+		mu.Unlock()
+		t.Fatalf("concurrent joins did not converge: sizes=%v", sizes)
+	}
+}
+
+func TestCrashFailuresDetectedAndRemoved(t *testing.T) {
+	net := simnet.New(simnet.Options{Seed: 5})
+	const n = 10
+	clusters := startCluster(t, net, n, testSettings())
+	defer stopAll(clusters)
+
+	// Crash two processes abruptly (Figure 8 scenario, scaled down).
+	crashed := []*Cluster{clusters[3], clusters[7]}
+	survivors := []*Cluster{}
+	for i, c := range clusters {
+		if i != 3 && i != 7 {
+			survivors = append(survivors, c)
+		}
+	}
+	for _, c := range crashed {
+		net.Crash(c.Addr())
+	}
+	if !waitUntil(t, 30*time.Second, func() bool {
+		for _, c := range survivors {
+			if c.Size() != n-2 {
+				return false
+			}
+		}
+		return true
+	}) {
+		sizes := []int{}
+		for _, c := range survivors {
+			sizes = append(sizes, c.Size())
+		}
+		t.Fatalf("survivors did not converge to %d members: %v", n-2, sizes)
+	}
+	// Consistency: all survivors agree on the configuration.
+	configID := survivors[0].ConfigurationID()
+	for _, c := range survivors {
+		if c.ConfigurationID() != configID {
+			t.Fatal("survivors disagree on the configuration after the crash")
+		}
+		for _, m := range c.Members() {
+			if m.Addr == crashed[0].Addr() || m.Addr == crashed[1].Addr() {
+				t.Fatal("crashed node still present in a survivor's view")
+			}
+		}
+	}
+}
+
+func TestGracefulLeave(t *testing.T) {
+	net := simnet.New(simnet.Options{Seed: 6})
+	const n = 5
+	clusters := startCluster(t, net, n, testSettings())
+	defer stopAll(clusters)
+
+	leaver := clusters[n-1]
+	leaver.Leave()
+	survivors := clusters[:n-1]
+	if !waitUntil(t, 20*time.Second, func() bool {
+		for _, c := range survivors {
+			if c.Size() != n-1 {
+				return false
+			}
+		}
+		return true
+	}) {
+		t.Fatal("graceful leave was not converted into a coordinated removal")
+	}
+}
+
+func TestSubscriberReceivesViewChanges(t *testing.T) {
+	net := simnet.New(simnet.Options{Seed: 7})
+	settings := testSettings()
+	node.SeedIDGenerator(7)
+	seed, err := StartCluster(addr(0), settings, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var events []ViewChange
+	seed.Subscribe(func(vc ViewChange) {
+		mu.Lock()
+		events = append(events, vc)
+		mu.Unlock()
+	})
+	j, err := JoinCluster(addr(1), []node.Addr{addr(0)}, settings, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stopAll([]*Cluster{seed, j})
+
+	if !waitUntil(t, 10*time.Second, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(events) >= 1
+	}) {
+		t.Fatal("subscriber never notified of the join")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	vc := events[0]
+	if len(vc.Changes) != 1 || !vc.Changes[0].Joined || vc.Changes[0].Endpoint.Addr != addr(1) {
+		t.Fatalf("unexpected view change contents: %+v", vc)
+	}
+	if vc.ConfigurationID != seed.ConfigurationID() {
+		t.Fatal("view change configuration ID does not match the installed configuration")
+	}
+}
+
+func TestMetadataVisibleToAllMembers(t *testing.T) {
+	net := simnet.New(simnet.Options{Seed: 8})
+	settings := testSettings()
+	node.SeedIDGenerator(8)
+	seed, err := StartCluster(addr(0), settings, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joinerSettings := testSettings()
+	joinerSettings.Metadata = map[string]string{"role": "backend", "zone": "z1"}
+	j, err := JoinCluster(addr(1), []node.Addr{addr(0)}, joinerSettings, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stopAll([]*Cluster{seed, j})
+	if !waitUntil(t, 10*time.Second, func() bool { return seed.Size() == 2 }) {
+		t.Fatal("join did not complete")
+	}
+	md, ok := seed.Metadata(addr(1))
+	if !ok || md["role"] != "backend" || md["zone"] != "z1" {
+		t.Fatalf("metadata not propagated: %v, %v", md, ok)
+	}
+}
+
+func TestAsymmetricIngressPartitionRemovesOnlyFaultyNode(t *testing.T) {
+	// Figure 9 scenario, scaled down: one node stops receiving all traffic.
+	// The cluster must remove exactly that node and remain stable.
+	net := simnet.New(simnet.Options{Seed: 9})
+	const n = 16
+	settings := testSettings()
+	clusters := startCluster(t, net, n, settings)
+	defer stopAll(clusters)
+
+	// In the paper's setting (n >> K) a single faulty observer never reaches
+	// the L watermark for a healthy subject, because observer/subject pairs
+	// rarely share multiple rings. At this test's small scale that is not
+	// automatic, so pick a victim whose ring multiplicity towards every one
+	// of its subjects stays below L — the topology is a deterministic
+	// function of the membership, so we can compute it directly.
+	victimIdx := -1
+	topo := view.NewWithMembers(settings.K, clusters[0].Members())
+	for i, c := range clusters {
+		subjects, err := topo.SubjectsOf(c.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ok := true
+		counts := make(map[node.Addr]int)
+		for _, s := range subjects {
+			counts[s]++
+		}
+		for _, cnt := range counts {
+			if cnt >= settings.L {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			victimIdx = i
+			break
+		}
+	}
+	if victimIdx < 0 {
+		t.Skip("no suitable victim at this scale; the property only holds for n >> K")
+	}
+	victim := clusters[victimIdx]
+	net.SetIngressLoss(victim.Addr(), 1.0)
+
+	survivors := append([]*Cluster{}, clusters[:victimIdx]...)
+	survivors = append(survivors, clusters[victimIdx+1:]...)
+	if !waitUntil(t, 30*time.Second, func() bool {
+		for _, c := range survivors {
+			if c.Size() != n-1 {
+				return false
+			}
+		}
+		return true
+	}) {
+		sizes := []int{}
+		for _, c := range survivors {
+			sizes = append(sizes, c.Size())
+		}
+		t.Fatalf("cluster did not remove the partitioned node: sizes=%v", sizes)
+	}
+	// Stability: healthy members must all still be present everywhere.
+	for _, c := range survivors {
+		for _, other := range survivors {
+			found := false
+			for _, m := range c.Members() {
+				if m.Addr == other.Addr() {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("healthy node %v was removed from %v's view", other.Addr(), c.Addr())
+			}
+		}
+	}
+}
+
+func TestViewChangeCountIsBoundedForSimultaneousCrashes(t *testing.T) {
+	// The multi-process cut should remove simultaneously crashed nodes in
+	// very few view changes (ideally one), not one per failure.
+	net := simnet.New(simnet.Options{Seed: 10})
+	const n = 12
+	clusters := startCluster(t, net, n, testSettings())
+	defer stopAll(clusters)
+
+	before := clusters[0].ViewChangeCount()
+	for i := 1; i <= 3; i++ {
+		net.Crash(clusters[i].Addr())
+	}
+	survivors := append([]*Cluster{clusters[0]}, clusters[4:]...)
+	if !waitUntil(t, 30*time.Second, func() bool {
+		for _, c := range survivors {
+			if c.Size() != n-3 {
+				return false
+			}
+		}
+		return true
+	}) {
+		t.Fatal("crashed nodes were not removed")
+	}
+	delta := clusters[0].ViewChangeCount() - before
+	if delta > 2 {
+		t.Errorf("3 simultaneous crashes caused %d view changes; expected a multi-node cut (1-2)", delta)
+	}
+}
+
+func TestStopIsIdempotentAndHaltsService(t *testing.T) {
+	net := simnet.New(simnet.Options{Seed: 11})
+	c, err := StartCluster("solo:1", testSettings(), net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Stop()
+	c.Stop()
+	if net.Registered("solo:1") {
+		t.Fatal("Stop should deregister the node from the transport")
+	}
+}

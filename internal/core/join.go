@@ -1,0 +1,148 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/node"
+	"repro/internal/remoting"
+)
+
+// runJoinProtocol performs Rapid's two-phase join (§4.1, §6) from the
+// joiner's side and returns the membership of the configuration that admitted
+// this process.
+//
+// Phase 1: ask a seed for this joiner's K temporary observers in the seed's
+// current configuration. Phase 2: contact those observers; each broadcasts a
+// JOIN alert and replies once the view change that includes the joiner has
+// been installed. If the configuration changes underneath the joiner, the
+// whole sequence is retried.
+func (c *Cluster) runJoinProtocol(seeds []node.Addr) ([]node.Endpoint, error) {
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("core: join requires at least one seed")
+	}
+	var lastErr error = ErrJoinFailed
+	for attempt := 0; attempt < c.settings.JoinAttempts; attempt++ {
+		select {
+		case <-c.stopCh:
+			return nil, ErrStopped
+		default:
+		}
+		seed := seeds[attempt%len(seeds)]
+		members, err := c.joinOnce(seed)
+		if err == nil {
+			return members, nil
+		}
+		lastErr = err
+		if err == ErrAddressInUse {
+			return nil, err
+		}
+		c.clock.Sleep(c.settings.JoinRetryDelay)
+	}
+	return nil, fmt.Errorf("%w: %v", ErrJoinFailed, lastErr)
+}
+
+// joinOnce runs one attempt of the two-phase join against a single seed.
+func (c *Cluster) joinOnce(seed node.Addr) ([]node.Endpoint, error) {
+	// Phase 1: obtain the configuration and this joiner's temporary observers.
+	ctx, cancel := context.WithTimeout(context.Background(), c.settings.JoinPhase2Timeout)
+	defer cancel()
+	resp, err := c.client.Send(ctx, seed, &remoting.Request{PreJoin: &remoting.PreJoinRequest{
+		Sender:   c.me.Addr,
+		JoinerID: c.me.ID,
+	}})
+	if err != nil {
+		return nil, fmt.Errorf("core: pre-join to seed %s: %w", seed, err)
+	}
+	if resp.PreJoin == nil {
+		return nil, fmt.Errorf("core: malformed pre-join response from %s", seed)
+	}
+	switch resp.PreJoin.Status {
+	case remoting.JoinSafeToJoin:
+	case remoting.JoinHostAlreadyInRing:
+		return nil, ErrAddressInUse
+	case remoting.JoinUUIDAlreadyInRing:
+		// Regenerate the logical identifier and let the caller retry.
+		c.me.ID = node.NewID()
+		return nil, fmt.Errorf("core: identifier collision, regenerated ID")
+	default:
+		return nil, fmt.Errorf("core: seed %s not ready: %s", seed, resp.PreJoin.Status)
+	}
+	observers := resp.PreJoin.Observers
+	if len(observers) == 0 {
+		return nil, fmt.Errorf("core: seed %s returned no observers", seed)
+	}
+	configID := resp.PreJoin.ConfigurationID
+
+	// Phase 2: contact every distinct temporary observer; the first complete
+	// response wins. Observers answer after the admitting view change.
+	distinct := make([]node.Addr, 0, len(observers))
+	seen := make(map[node.Addr]bool)
+	for _, o := range observers {
+		if !seen[o] {
+			seen[o] = true
+			distinct = append(distinct, o)
+		}
+	}
+
+	type outcome struct {
+		resp *remoting.JoinResponse
+		err  error
+	}
+	results := make(chan outcome, len(distinct))
+	var wg sync.WaitGroup
+	for _, observer := range distinct {
+		observer := observer
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			joinCtx, joinCancel := context.WithTimeout(context.Background(), c.settings.JoinPhase2Timeout)
+			defer joinCancel()
+			r, err := c.client.Send(joinCtx, observer, &remoting.Request{Join: &remoting.JoinRequest{
+				Sender:          c.me.Addr,
+				JoinerID:        c.me.ID,
+				ConfigurationID: configID,
+				Metadata:        c.me.Metadata,
+			}})
+			if err != nil {
+				results <- outcome{err: err}
+				return
+			}
+			if r.Join == nil {
+				results <- outcome{err: fmt.Errorf("core: malformed join response from %s", observer)}
+				return
+			}
+			results <- outcome{resp: r.Join}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	var lastErr error
+	for out := range results {
+		if out.err != nil {
+			lastErr = out.err
+			continue
+		}
+		switch out.resp.Status {
+		case remoting.JoinSafeToJoin:
+			if len(out.resp.Members) > 0 {
+				return out.resp.Members, nil
+			}
+			lastErr = fmt.Errorf("core: join response carried no members")
+		case remoting.JoinConfigChanged, remoting.JoinViewChangeInProgress:
+			lastErr = fmt.Errorf("core: configuration changed during join (%s)", out.resp.Status)
+		case remoting.JoinHostAlreadyInRing:
+			return nil, ErrAddressInUse
+		default:
+			lastErr = fmt.Errorf("core: join rejected: %s", out.resp.Status)
+		}
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("core: no observer answered the join request")
+	}
+	return nil, lastErr
+}

@@ -1,0 +1,167 @@
+// Package core implements the Rapid membership service (§3, §4 of the paper):
+// the public API that applications use to join a cluster, receive strongly
+// consistent view-change notifications, and leave. It composes the K-ring
+// monitoring overlay (package view), pluggable edge failure detectors
+// (package edgefd), multi-process cut detection (package cutdetect) and the
+// leaderless view-change consensus (package fastpaxos) into a single service
+// reachable over any transport.
+package core
+
+import (
+	"time"
+
+	"repro/internal/edgefd"
+	"repro/internal/simclock"
+)
+
+// Settings are the tunables of a membership service instance. The zero value
+// is not usable; start from DefaultSettings or ScaledSettings.
+type Settings struct {
+	// K is the number of observers per subject (ring count).
+	K int
+	// H is the high watermark: a subject with at least H distinct
+	// observer reports is in stable report mode.
+	H int
+	// L is the low watermark: a subject with fewer than L reports is noise;
+	// between L and H it is unstable and delays proposals.
+	L int
+
+	// ProbeInterval is the edge failure detector's probe period.
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds each probe RPC.
+	ProbeTimeout time.Duration
+	// FailureDetector builds the per-edge monitor; defaults to the paper's
+	// ping-pong detector (40% of the last 10 probes).
+	FailureDetector edgefd.Factory
+
+	// BatchingWindow is how long alerts are buffered before being broadcast
+	// as a single batched message (§6).
+	BatchingWindow time.Duration
+
+	// ConsensusFallbackBase is the base delay before an undecided node starts
+	// the classical Paxos recovery round. Each node adds a deterministic
+	// jitter so a single coordinator usually emerges.
+	ConsensusFallbackBase time.Duration
+
+	// ReinforcementTimeout is how long a subject may stay in the unstable
+	// report region before this node's observers echo REMOVE alerts (§4.2).
+	ReinforcementTimeout time.Duration
+	// ReinforcementTick is how often the unstable set is checked.
+	ReinforcementTick time.Duration
+
+	// JoinAttempts bounds how many times a joiner retries the two-phase join.
+	JoinAttempts int
+	// JoinPhase2Timeout bounds how long a joiner (and the observer serving
+	// it) waits for the view change that admits it.
+	JoinPhase2Timeout time.Duration
+	// JoinRetryDelay is the pause between join attempts.
+	JoinRetryDelay time.Duration
+
+	// Clock supplies time; defaults to the wall clock.
+	Clock simclock.Clock
+	// Metadata is application-supplied data attached to this process
+	// (e.g. {"role": "backend"}), visible to all members.
+	Metadata map[string]string
+}
+
+// DefaultSettings returns production-scale parameters matching the paper:
+// {K, H, L} = {10, 9, 3}, 1-second probes with the 40%-of-last-10 detector,
+// 100 ms alert batching.
+func DefaultSettings() Settings {
+	return Settings{
+		K:                     10,
+		H:                     9,
+		L:                     3,
+		ProbeInterval:         time.Second,
+		ProbeTimeout:          500 * time.Millisecond,
+		FailureDetector:       edgefd.NewPingPongFactory(edgefd.DefaultPingPongOptions()),
+		BatchingWindow:        100 * time.Millisecond,
+		ConsensusFallbackBase: 8 * time.Second,
+		ReinforcementTimeout:  5 * time.Second,
+		ReinforcementTick:     time.Second,
+		JoinAttempts:          10,
+		JoinPhase2Timeout:     12 * time.Second,
+		JoinRetryDelay:        time.Second,
+		Clock:                 simclock.NewReal(),
+		Metadata:              nil,
+	}
+}
+
+// ScaledSettings returns DefaultSettings with every duration divided by
+// factor. The experiment harness uses this to run the paper's scenarios in
+// compressed time (e.g. factor 50 turns 1-second probe intervals into 20 ms).
+func ScaledSettings(factor float64) Settings {
+	if factor <= 0 {
+		factor = 1
+	}
+	s := DefaultSettings()
+	scale := func(d time.Duration) time.Duration {
+		scaled := time.Duration(float64(d) / factor)
+		if scaled < time.Millisecond {
+			scaled = time.Millisecond
+		}
+		return scaled
+	}
+	s.ProbeInterval = scale(s.ProbeInterval)
+	s.ProbeTimeout = scale(s.ProbeTimeout)
+	s.BatchingWindow = scale(s.BatchingWindow)
+	s.ConsensusFallbackBase = scale(s.ConsensusFallbackBase)
+	s.ReinforcementTimeout = scale(s.ReinforcementTimeout)
+	s.ReinforcementTick = scale(s.ReinforcementTick)
+	s.JoinPhase2Timeout = scale(s.JoinPhase2Timeout)
+	s.JoinRetryDelay = scale(s.JoinRetryDelay)
+	return s
+}
+
+// validate fills defaults for zero-valued fields and checks watermarks.
+func (s *Settings) validate() error {
+	if s.K <= 0 {
+		s.K = 10
+	}
+	if s.H <= 0 {
+		s.H = s.K - 1
+		if s.H < 1 {
+			s.H = 1
+		}
+	}
+	if s.L <= 0 {
+		s.L = 1
+	}
+	if s.L > s.H || s.H > s.K {
+		return errInvalidWatermarks
+	}
+	if s.ProbeInterval <= 0 {
+		s.ProbeInterval = time.Second
+	}
+	if s.ProbeTimeout <= 0 {
+		s.ProbeTimeout = s.ProbeInterval / 2
+	}
+	if s.FailureDetector == nil {
+		s.FailureDetector = edgefd.NewPingPongFactory(edgefd.DefaultPingPongOptions())
+	}
+	if s.BatchingWindow <= 0 {
+		s.BatchingWindow = 100 * time.Millisecond
+	}
+	if s.ConsensusFallbackBase <= 0 {
+		s.ConsensusFallbackBase = 8 * time.Second
+	}
+	if s.ReinforcementTimeout <= 0 {
+		s.ReinforcementTimeout = 5 * time.Second
+	}
+	if s.ReinforcementTick <= 0 {
+		s.ReinforcementTick = time.Second
+	}
+	if s.JoinAttempts <= 0 {
+		s.JoinAttempts = 10
+	}
+	if s.JoinPhase2Timeout <= 0 {
+		s.JoinPhase2Timeout = 12 * time.Second
+	}
+	if s.JoinRetryDelay <= 0 {
+		s.JoinRetryDelay = time.Second
+	}
+	if s.Clock == nil {
+		s.Clock = simclock.NewReal()
+	}
+	return nil
+}

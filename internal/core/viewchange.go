@@ -1,0 +1,91 @@
+package core
+
+import (
+	"repro/internal/node"
+	"repro/internal/remoting"
+)
+
+// onDecide is invoked by the consensus layer exactly once per configuration
+// with the agreed multi-process cut. It installs the next configuration,
+// resets the per-configuration protocol state, notifies subscribers, and
+// answers any joiners that were waiting on this view change.
+func (c *Cluster) onDecide(proposal []node.Endpoint) {
+	c.mu.Lock()
+	if !c.started || c.stopped {
+		c.mu.Unlock()
+		return
+	}
+
+	changes := make([]StatusChange, 0, len(proposal))
+	for _, ep := range proposal {
+		if existing, ok := c.view.Member(ep.Addr); ok {
+			if err := c.view.RemoveMember(ep.Addr); err == nil {
+				changes = append(changes, StatusChange{Endpoint: existing, Joined: false})
+			}
+		} else {
+			if err := c.view.AddMember(ep); err == nil {
+				changes = append(changes, StatusChange{Endpoint: ep, Joined: true})
+			}
+		}
+	}
+
+	c.viewChanges++
+	newConfigID := c.view.ConfigurationID()
+	members := c.view.Members()
+
+	// Per-configuration state is reset: tallies never carry across views.
+	c.cd.Clear()
+	c.alertedEdges = make(map[node.Addr]bool)
+	c.pendingAlerts = nil
+	c.broadcaster.SetMembership(c.view.MemberAddrs())
+	c.consensus = c.newConsensusLocked()
+
+	// Collect join waiters to answer after releasing the lock.
+	type waiterBatch struct {
+		chans []chan *remoting.JoinResponse
+		resp  *remoting.JoinResponse
+	}
+	var waiters []waiterBatch
+	for _, change := range changes {
+		if !change.Joined {
+			continue
+		}
+		chans, ok := c.joinWaiters[change.Endpoint.Addr]
+		if !ok {
+			continue
+		}
+		delete(c.joinWaiters, change.Endpoint.Addr)
+		waiters = append(waiters, waiterBatch{
+			chans: chans,
+			resp: &remoting.JoinResponse{
+				Sender:          c.me.Addr,
+				Status:          remoting.JoinSafeToJoin,
+				ConfigurationID: newConfigID,
+				Members:         members,
+			},
+		})
+	}
+
+	subscribers := append([]Subscriber(nil), c.subscribers...)
+	vc := ViewChange{
+		ConfigurationID: newConfigID,
+		Members:         members,
+		Changes:         changes,
+	}
+	c.mu.Unlock()
+
+	// Monitors depend on the subject set, which changed with the view.
+	c.restartMonitors()
+
+	for _, w := range waiters {
+		for _, ch := range w.chans {
+			select {
+			case ch <- w.resp:
+			default:
+			}
+		}
+	}
+	for _, sub := range subscribers {
+		sub(vc)
+	}
+}

@@ -1,0 +1,317 @@
+// Package edgefd provides Rapid's pluggable edge failure detectors (§4.1,
+// §6). An edge failure detector runs on an observer and monitors one subject;
+// when it concludes the edge is faulty it invokes a callback, and the
+// membership service converts that into an irrevocable REMOVE alert.
+//
+// Three implementations are provided:
+//
+//   - PingPong: the paper's default — periodic probes, marking the edge
+//     faulty when at least 40% of the last 10 probe attempts failed.
+//   - Counting: marks the edge faulty after a fixed number of consecutive
+//     probe failures (a simpler, more aggressive detector).
+//   - PhiAccrual: an adaptive detector in the style of Hayashibara et al.,
+//     computing a suspicion level from the distribution of probe round-trip
+//     successes and failing the edge when it crosses a threshold.
+//
+// Any function matching Factory can be plugged into the membership service,
+// which mirrors Rapid's support for application-supplied detectors.
+package edgefd
+
+import (
+	"context"
+	"math"
+	"sync"
+	"time"
+
+	"repro/internal/node"
+	"repro/internal/remoting"
+	"repro/internal/simclock"
+	"repro/internal/transport"
+)
+
+// Callback is invoked (once) when a monitor concludes its subject's edge is
+// faulty.
+type Callback func(subject node.Addr)
+
+// Monitor probes a single subject on behalf of a single observer.
+type Monitor interface {
+	// Start begins probing in a background goroutine.
+	Start()
+	// Stop halts probing. It is safe to call multiple times.
+	Stop()
+}
+
+// Params bundles everything a monitor needs.
+type Params struct {
+	Observer node.Addr
+	Subject  node.Addr
+	Client   transport.Client
+	Clock    simclock.Clock
+	// Interval between probes.
+	Interval time.Duration
+	// Timeout for each probe RPC.
+	Timeout time.Duration
+	// OnFailure is invoked once when the edge is deemed faulty.
+	OnFailure Callback
+}
+
+// Factory builds a monitor for one observer/subject edge. The membership
+// service calls the factory once per subject after every view change.
+type Factory func(p Params) Monitor
+
+// --- shared probing loop -----------------------------------------------------
+
+// prober is the common probe loop; the judge decides when the edge fails.
+type prober struct {
+	p     Params
+	judge func(success bool) bool // returns true when the edge is now faulty
+
+	mu       sync.Mutex
+	started  bool
+	stopped  bool
+	reported bool
+	quit     chan struct{}
+	done     sync.WaitGroup
+}
+
+func newProber(p Params, judge func(bool) bool) *prober {
+	return &prober{p: p, judge: judge, quit: make(chan struct{})}
+}
+
+// Start implements Monitor.
+func (pr *prober) Start() {
+	pr.mu.Lock()
+	if pr.started || pr.stopped {
+		pr.mu.Unlock()
+		return
+	}
+	pr.started = true
+	pr.mu.Unlock()
+	pr.done.Add(1)
+	go pr.loop()
+}
+
+// Stop implements Monitor.
+func (pr *prober) Stop() {
+	pr.mu.Lock()
+	if pr.stopped {
+		pr.mu.Unlock()
+		return
+	}
+	pr.stopped = true
+	started := pr.started
+	pr.mu.Unlock()
+	close(pr.quit)
+	if started {
+		pr.done.Wait()
+	}
+}
+
+func (pr *prober) loop() {
+	defer pr.done.Done()
+	for {
+		select {
+		case <-pr.quit:
+			return
+		case <-pr.p.Clock.After(pr.p.Interval):
+		}
+		success := pr.probeOnce()
+		pr.mu.Lock()
+		alreadyReported := pr.reported
+		pr.mu.Unlock()
+		if alreadyReported {
+			continue
+		}
+		if pr.judge(success) {
+			pr.mu.Lock()
+			pr.reported = true
+			pr.mu.Unlock()
+			if pr.p.OnFailure != nil {
+				pr.p.OnFailure(pr.p.Subject)
+			}
+		}
+	}
+}
+
+// probeOnce sends a single probe and reports whether it succeeded. A subject
+// that reports itself as bootstrapping is treated as healthy, as in §6.
+func (pr *prober) probeOnce() bool {
+	ctx, cancel := context.WithTimeout(context.Background(), pr.p.Timeout)
+	defer cancel()
+	resp, err := pr.p.Client.Send(ctx, pr.p.Subject, &remoting.Request{
+		Probe: &remoting.ProbeRequest{Sender: pr.p.Observer},
+	})
+	if err != nil {
+		return false
+	}
+	return resp != nil && resp.Probe != nil &&
+		(resp.Probe.Status == remoting.NodeOK || resp.Probe.Status == remoting.NodeBootstrapping)
+}
+
+// --- PingPong detector -------------------------------------------------------
+
+// PingPongOptions tune the windowed detector. The defaults match §6 of the
+// paper: an edge is faulty when 40% of the last 10 probes failed.
+type PingPongOptions struct {
+	WindowSize       int
+	FailureThreshold float64
+}
+
+// DefaultPingPongOptions returns the paper's parameters.
+func DefaultPingPongOptions() PingPongOptions {
+	return PingPongOptions{WindowSize: 10, FailureThreshold: 0.4}
+}
+
+// NewPingPongFactory returns a Factory producing windowed ping-pong monitors.
+func NewPingPongFactory(opts PingPongOptions) Factory {
+	if opts.WindowSize <= 0 {
+		opts.WindowSize = 10
+	}
+	if opts.FailureThreshold <= 0 {
+		opts.FailureThreshold = 0.4
+	}
+	return func(p Params) Monitor {
+		window := make([]bool, 0, opts.WindowSize)
+		var mu sync.Mutex
+		judge := func(success bool) bool {
+			mu.Lock()
+			defer mu.Unlock()
+			window = append(window, !success)
+			if len(window) > opts.WindowSize {
+				window = window[1:]
+			}
+			if len(window) < opts.WindowSize {
+				return false
+			}
+			failures := 0
+			for _, failed := range window {
+				if failed {
+					failures++
+				}
+			}
+			return float64(failures) >= opts.FailureThreshold*float64(opts.WindowSize)
+		}
+		return newProber(p, judge)
+	}
+}
+
+// --- Counting detector -------------------------------------------------------
+
+// NewCountingFactory returns a Factory that fails an edge after
+// consecutiveFailures probe failures in a row. It reacts faster than the
+// windowed detector and is useful in tests and latency-sensitive setups.
+func NewCountingFactory(consecutiveFailures int) Factory {
+	if consecutiveFailures <= 0 {
+		consecutiveFailures = 3
+	}
+	return func(p Params) Monitor {
+		var mu sync.Mutex
+		streak := 0
+		judge := func(success bool) bool {
+			mu.Lock()
+			defer mu.Unlock()
+			if success {
+				streak = 0
+				return false
+			}
+			streak++
+			return streak >= consecutiveFailures
+		}
+		return newProber(p, judge)
+	}
+}
+
+// --- Phi-accrual detector ----------------------------------------------------
+
+// PhiAccrualOptions tune the adaptive detector.
+type PhiAccrualOptions struct {
+	// Threshold is the suspicion level above which the edge is faulty.
+	Threshold float64
+	// MinSamples is the number of successful probes required before the
+	// detector starts suspecting.
+	MinSamples int
+	// MinStdDev floors the standard deviation estimate.
+	MinStdDev time.Duration
+}
+
+// DefaultPhiAccrualOptions returns commonly used parameters (threshold 8).
+func DefaultPhiAccrualOptions() PhiAccrualOptions {
+	return PhiAccrualOptions{Threshold: 8, MinSamples: 5, MinStdDev: 10 * time.Millisecond}
+}
+
+// NewPhiAccrualFactory returns a Factory producing φ-accrual monitors: the
+// suspicion level φ = -log10(P(no heartbeat for Δt)) is computed from the
+// observed distribution of inter-success times; when φ exceeds the threshold
+// the edge is reported faulty.
+func NewPhiAccrualFactory(opts PhiAccrualOptions) Factory {
+	if opts.Threshold <= 0 {
+		opts.Threshold = 8
+	}
+	if opts.MinSamples <= 0 {
+		opts.MinSamples = 5
+	}
+	if opts.MinStdDev <= 0 {
+		opts.MinStdDev = 10 * time.Millisecond
+	}
+	return func(p Params) Monitor {
+		var mu sync.Mutex
+		var lastSuccess time.Time
+		var intervals []float64 // seconds between successful probes
+		judge := func(success bool) bool {
+			mu.Lock()
+			defer mu.Unlock()
+			now := p.Clock.Now()
+			if success {
+				if !lastSuccess.IsZero() {
+					intervals = append(intervals, now.Sub(lastSuccess).Seconds())
+					if len(intervals) > 100 {
+						intervals = intervals[1:]
+					}
+				}
+				lastSuccess = now
+				return false
+			}
+			if len(intervals) < opts.MinSamples || lastSuccess.IsZero() {
+				return false
+			}
+			mean, std := meanStd(intervals)
+			minStd := opts.MinStdDev.Seconds()
+			if std < minStd {
+				std = minStd
+			}
+			elapsed := now.Sub(lastSuccess).Seconds()
+			phi := phiValue(elapsed, mean, std)
+			return phi >= opts.Threshold
+		}
+		return newProber(p, judge)
+	}
+}
+
+// meanStd returns the mean and standard deviation of the samples.
+func meanStd(samples []float64) (mean, std float64) {
+	if len(samples) == 0 {
+		return 0, 0
+	}
+	var sum float64
+	for _, s := range samples {
+		sum += s
+	}
+	mean = sum / float64(len(samples))
+	var variance float64
+	for _, s := range samples {
+		variance += (s - mean) * (s - mean)
+	}
+	variance /= float64(len(samples))
+	return mean, math.Sqrt(variance)
+}
+
+// phiValue computes the φ suspicion level assuming normally distributed
+// inter-arrival times, following the φ-accrual failure detector.
+func phiValue(elapsed, mean, std float64) float64 {
+	y := (elapsed - mean) / std
+	e := math.Exp(-y * (1.5976 + 0.070566*y*y))
+	if elapsed > mean {
+		return -math.Log10(e / (1.0 + e))
+	}
+	return -math.Log10(1.0 - 1.0/(1.0+e))
+}

@@ -1,0 +1,301 @@
+package edgefd
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/node"
+	"repro/internal/remoting"
+	"repro/internal/simclock"
+	"repro/internal/transport"
+)
+
+// scriptedSubject answers probes according to a controllable health flag.
+type scriptedSubject struct {
+	mu      sync.Mutex
+	healthy bool
+	status  remoting.NodeStatus
+	probes  int
+}
+
+func (s *scriptedSubject) setHealthy(h bool) {
+	s.mu.Lock()
+	s.healthy = h
+	s.mu.Unlock()
+}
+
+func (s *scriptedSubject) probeCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.probes
+}
+
+// scriptedClient routes probes to the scripted subject.
+type scriptedClient struct {
+	subject *scriptedSubject
+}
+
+func (c *scriptedClient) Send(_ context.Context, _ node.Addr, req *remoting.Request) (*remoting.Response, error) {
+	c.subject.mu.Lock()
+	defer c.subject.mu.Unlock()
+	c.subject.probes++
+	if req.Probe == nil || !c.subject.healthy {
+		return nil, transport.ErrUnreachable
+	}
+	return &remoting.Response{Probe: &remoting.ProbeResponse{Status: c.subject.status}}, nil
+}
+
+func (c *scriptedClient) SendBestEffort(node.Addr, *remoting.Request) {}
+
+var _ transport.Client = (*scriptedClient)(nil)
+
+// failureRecorder collects failure callbacks.
+type failureRecorder struct {
+	mu    sync.Mutex
+	calls []node.Addr
+}
+
+func (r *failureRecorder) callback(subject node.Addr) {
+	r.mu.Lock()
+	r.calls = append(r.calls, subject)
+	r.mu.Unlock()
+}
+
+func (r *failureRecorder) count() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.calls)
+}
+
+func params(subject *scriptedSubject, rec *failureRecorder) Params {
+	return Params{
+		Observer:  "observer:1",
+		Subject:   "subject:1",
+		Client:    &scriptedClient{subject: subject},
+		Clock:     simclock.NewReal(),
+		Interval:  time.Millisecond,
+		Timeout:   10 * time.Millisecond,
+		OnFailure: rec.callback,
+	}
+}
+
+func waitFor(t *testing.T, timeout time.Duration, cond func() bool) bool {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return true
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return cond()
+}
+
+func TestPingPongDetectsPersistentFailure(t *testing.T) {
+	subject := &scriptedSubject{healthy: false}
+	rec := &failureRecorder{}
+	m := NewPingPongFactory(DefaultPingPongOptions())(params(subject, rec))
+	m.Start()
+	defer m.Stop()
+	if !waitFor(t, 2*time.Second, func() bool { return rec.count() >= 1 }) {
+		t.Fatal("ping-pong detector never reported the dead subject")
+	}
+	// The window requires at least 10 probes before deciding.
+	if subject.probeCount() < 10 {
+		t.Errorf("detector decided after only %d probes; the 10-probe window should be filled first", subject.probeCount())
+	}
+}
+
+func TestPingPongDoesNotReportHealthySubject(t *testing.T) {
+	subject := &scriptedSubject{healthy: true, status: remoting.NodeOK}
+	rec := &failureRecorder{}
+	m := NewPingPongFactory(DefaultPingPongOptions())(params(subject, rec))
+	m.Start()
+	defer m.Stop()
+	waitFor(t, 100*time.Millisecond, func() bool { return subject.probeCount() >= 30 })
+	if rec.count() != 0 {
+		t.Fatal("healthy subject was reported as faulty")
+	}
+}
+
+func TestPingPongBootstrappingSubjectIsHealthy(t *testing.T) {
+	subject := &scriptedSubject{healthy: true, status: remoting.NodeBootstrapping}
+	rec := &failureRecorder{}
+	m := NewPingPongFactory(DefaultPingPongOptions())(params(subject, rec))
+	m.Start()
+	defer m.Stop()
+	waitFor(t, 100*time.Millisecond, func() bool { return subject.probeCount() >= 20 })
+	if rec.count() != 0 {
+		t.Fatal("bootstrapping subject must not be reported as faulty")
+	}
+}
+
+func TestPingPongReportsOnlyOnce(t *testing.T) {
+	subject := &scriptedSubject{healthy: false}
+	rec := &failureRecorder{}
+	m := NewPingPongFactory(DefaultPingPongOptions())(params(subject, rec))
+	m.Start()
+	defer m.Stop()
+	waitFor(t, 2*time.Second, func() bool { return rec.count() >= 1 })
+	// Keep probing for a while; no further reports should be produced.
+	time.Sleep(30 * time.Millisecond)
+	if rec.count() != 1 {
+		t.Fatalf("detector reported %d times, want exactly 1", rec.count())
+	}
+}
+
+func TestPingPongToleratesMinorLoss(t *testing.T) {
+	// A subject that fails 2 of every 10 probes stays below the 40% threshold.
+	subject := &scriptedSubject{healthy: true, status: remoting.NodeOK}
+	rec := &failureRecorder{}
+	p := params(subject, rec)
+	flip := 0
+	var mu sync.Mutex
+	p.Client = transportClientFunc(func(ctx context.Context, to node.Addr, req *remoting.Request) (*remoting.Response, error) {
+		mu.Lock()
+		flip++
+		f := flip
+		mu.Unlock()
+		if f%5 == 0 { // 20% failures
+			return nil, transport.ErrUnreachable
+		}
+		return &remoting.Response{Probe: &remoting.ProbeResponse{Status: remoting.NodeOK}}, nil
+	})
+	m := NewPingPongFactory(DefaultPingPongOptions())(p)
+	m.Start()
+	defer m.Stop()
+	time.Sleep(60 * time.Millisecond)
+	if rec.count() != 0 {
+		t.Fatal("20% probe loss should not trigger the 40% threshold")
+	}
+}
+
+// transportClientFunc adapts a function to transport.Client.
+type transportClientFunc func(ctx context.Context, to node.Addr, req *remoting.Request) (*remoting.Response, error)
+
+func (f transportClientFunc) Send(ctx context.Context, to node.Addr, req *remoting.Request) (*remoting.Response, error) {
+	return f(ctx, to, req)
+}
+func (f transportClientFunc) SendBestEffort(node.Addr, *remoting.Request) {}
+
+func TestCountingDetectorConsecutiveFailures(t *testing.T) {
+	subject := &scriptedSubject{healthy: false}
+	rec := &failureRecorder{}
+	m := NewCountingFactory(3)(params(subject, rec))
+	m.Start()
+	defer m.Stop()
+	if !waitFor(t, time.Second, func() bool { return rec.count() == 1 }) {
+		t.Fatal("counting detector never fired")
+	}
+	if subject.probeCount() < 3 {
+		t.Errorf("counting detector fired after %d probes, want at least 3", subject.probeCount())
+	}
+}
+
+func TestCountingDetectorResetsOnSuccess(t *testing.T) {
+	subject := &scriptedSubject{healthy: true, status: remoting.NodeOK}
+	rec := &failureRecorder{}
+	p := params(subject, rec)
+	// Alternate failure/success so no streak of 3 forms.
+	var mu sync.Mutex
+	n := 0
+	p.Client = transportClientFunc(func(ctx context.Context, to node.Addr, req *remoting.Request) (*remoting.Response, error) {
+		mu.Lock()
+		n++
+		v := n
+		mu.Unlock()
+		if v%2 == 0 {
+			return nil, transport.ErrUnreachable
+		}
+		return &remoting.Response{Probe: &remoting.ProbeResponse{Status: remoting.NodeOK}}, nil
+	})
+	m := NewCountingFactory(3)(p)
+	m.Start()
+	defer m.Stop()
+	time.Sleep(50 * time.Millisecond)
+	if rec.count() != 0 {
+		t.Fatal("alternating success/failure must not trigger a 3-consecutive-failure detector")
+	}
+}
+
+func TestPhiAccrualDetectsSilence(t *testing.T) {
+	subject := &scriptedSubject{healthy: true, status: remoting.NodeOK}
+	rec := &failureRecorder{}
+	opts := DefaultPhiAccrualOptions()
+	opts.Threshold = 3
+	opts.MinStdDev = time.Millisecond
+	m := NewPhiAccrualFactory(opts)(params(subject, rec))
+	m.Start()
+	defer m.Stop()
+	// Healthy phase establishes a baseline of inter-success intervals.
+	waitFor(t, time.Second, func() bool { return subject.probeCount() >= 20 })
+	subject.setHealthy(false)
+	if !waitFor(t, 2*time.Second, func() bool { return rec.count() >= 1 }) {
+		t.Fatal("phi-accrual detector never suspected the silent subject")
+	}
+}
+
+func TestPhiAccrualStaysQuietWhileHealthy(t *testing.T) {
+	subject := &scriptedSubject{healthy: true, status: remoting.NodeOK}
+	rec := &failureRecorder{}
+	m := NewPhiAccrualFactory(DefaultPhiAccrualOptions())(params(subject, rec))
+	m.Start()
+	defer m.Stop()
+	waitFor(t, 200*time.Millisecond, func() bool { return subject.probeCount() >= 40 })
+	if rec.count() != 0 {
+		t.Fatal("phi-accrual detector reported a healthy subject")
+	}
+}
+
+func TestStopBeforeStartAndDoubleStop(t *testing.T) {
+	subject := &scriptedSubject{healthy: false}
+	rec := &failureRecorder{}
+	m := NewCountingFactory(3)(params(subject, rec))
+	m.Stop()
+	m.Stop()
+	m.Start() // starting after stop is a no-op
+	time.Sleep(20 * time.Millisecond)
+	if rec.count() != 0 {
+		t.Fatal("a stopped monitor must not probe")
+	}
+}
+
+func TestStopHaltsProbing(t *testing.T) {
+	subject := &scriptedSubject{healthy: true, status: remoting.NodeOK}
+	rec := &failureRecorder{}
+	m := NewCountingFactory(3)(params(subject, rec))
+	m.Start()
+	waitFor(t, time.Second, func() bool { return subject.probeCount() > 0 })
+	m.Stop()
+	before := subject.probeCount()
+	time.Sleep(30 * time.Millisecond)
+	if subject.probeCount() > before+1 {
+		t.Fatalf("probing continued after Stop: %d -> %d", before, subject.probeCount())
+	}
+}
+
+func TestMeanStd(t *testing.T) {
+	mean, std := meanStd([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if mean != 5 {
+		t.Errorf("mean = %v, want 5", mean)
+	}
+	if std < 1.9 || std > 2.1 {
+		t.Errorf("std = %v, want 2", std)
+	}
+	if m, s := meanStd(nil); m != 0 || s != 0 {
+		t.Error("meanStd of empty input should be zeros")
+	}
+}
+
+func TestPhiValueMonotonicInElapsed(t *testing.T) {
+	prev := 0.0
+	for i := 1; i <= 10; i++ {
+		phi := phiValue(float64(i), 1.0, 0.5)
+		if phi < prev {
+			t.Fatalf("phi should not decrease as silence grows: phi(%d)=%v < %v", i, phi, prev)
+		}
+		prev = phi
+	}
+}

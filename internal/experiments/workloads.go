@@ -1,0 +1,425 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/apps/discovery"
+	"repro/internal/apps/txn"
+	"repro/internal/core"
+	"repro/internal/gossipfd"
+	"repro/internal/harness"
+	"repro/internal/metrics"
+	"repro/internal/node"
+	"repro/internal/simnet"
+	"repro/internal/swim"
+)
+
+// --- Figure 12: distributed transactional data platform ----------------------
+
+// TxnResult captures one membership-provider's run of the Figure 12 workload.
+type TxnResult struct {
+	Provider     string
+	Transactions int
+	Failovers    int
+	Flaps        int
+	P50Latency   time.Duration
+	P99Latency   time.Duration
+	MaxLatency   time.Duration
+}
+
+// accusationMembership models the transactional platform's original
+// all-to-all gossip failure detector feeding reconfiguration: any single
+// node's accusation removes a server from the membership, and the server is
+// re-added once a majority of detectors still consider it alive — producing
+// the accusation/refutation flapping the paper describes.
+type accusationMembership struct {
+	servers   []node.Addr
+	detectors []*gossipfd.Detector
+
+	mu      sync.Mutex
+	removed map[node.Addr]bool
+	flaps   int
+}
+
+func newAccusationMembership(servers []node.Addr, detectors []*gossipfd.Detector) *accusationMembership {
+	return &accusationMembership{servers: servers, detectors: detectors, removed: make(map[node.Addr]bool)}
+}
+
+// AliveServers implements txn.MembershipSource.
+func (a *accusationMembership) AliveServers() []node.Addr {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var alive []node.Addr
+	for _, s := range a.servers {
+		accusations, vouches := 0, 0
+		for _, d := range a.detectors {
+			if d.Addr() == s {
+				continue
+			}
+			if d.Alive(s) {
+				vouches++
+			} else {
+				accusations++
+			}
+		}
+		if !a.removed[s] && accusations > 0 {
+			a.removed[s] = true
+			a.flaps++
+		} else if a.removed[s] && accusations == 0 {
+			a.removed[s] = false
+			a.flaps++
+		} else if a.removed[s] && vouches > accusations {
+			// Refutation: a majority still vouches for the server, so the
+			// reconfiguration layer re-admits it (until the next accusation).
+			a.removed[s] = false
+			a.flaps++
+		}
+		if !a.removed[s] {
+			alive = append(alive, s)
+		}
+	}
+	return alive
+}
+
+// Flaps returns the number of membership transitions the source produced.
+func (a *accusationMembership) Flaps() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.flaps
+}
+
+// rapidMembership adapts a Rapid cluster handle to txn.MembershipSource.
+type rapidMembership struct{ c *core.Cluster }
+
+// AliveServers implements txn.MembershipSource.
+func (r rapidMembership) AliveServers() []node.Addr {
+	members := r.c.Members()
+	out := make([]node.Addr, 0, len(members))
+	for _, m := range members {
+		out = append(out, m.Addr)
+	}
+	return out
+}
+
+// RunTransactionWorkload reproduces Figure 12: a transactional platform over
+// `servers` data servers, driven either by the baseline all-to-all gossip
+// failure detector or by Rapid, with a full packet blackhole injected between
+// the serialization server and one other data server mid-run.
+func RunTransactionWorkload(cfg Config, servers int, duration time.Duration) ([]TxnResult, error) {
+	if servers < 8 {
+		servers = 8
+	}
+	addrs := make([]node.Addr, servers)
+	for i := range addrs {
+		addrs[i] = node.Addr(fmt.Sprintf("data-%02d:7100", i))
+	}
+	opts := txn.DefaultOptions().Scaled(cfg.TimeScale / 5)
+	var results []TxnResult
+
+	runOne := func(provider string) (TxnResult, error) {
+		net := simnet.New(simnet.Options{Seed: cfg.Seed})
+		var source txn.MembershipSource
+		var flapCount func() int
+		var cleanup func()
+
+		switch provider {
+		case "baseline-gossip-fd":
+			var detectors []*gossipfd.Detector
+			for _, a := range addrs {
+				d, err := gossipfd.Start(a, addrs, gossipfd.DefaultOptions().Scaled(cfg.TimeScale), net)
+				if err != nil {
+					return TxnResult{}, err
+				}
+				detectors = append(detectors, d)
+			}
+			am := newAccusationMembership(addrs, detectors)
+			source = am
+			flapCount = am.Flaps
+			cleanup = func() {
+				for _, d := range detectors {
+					d.Stop()
+				}
+			}
+		case "rapid":
+			settings := core.ScaledSettings(cfg.TimeScale)
+			node.SeedIDGenerator(cfg.Seed)
+			seedCluster, err := core.StartCluster(addrs[0], settings, net)
+			if err != nil {
+				return TxnResult{}, err
+			}
+			clusters := []*core.Cluster{seedCluster}
+			var mu sync.Mutex
+			var wg sync.WaitGroup
+			var joinErr error
+			for _, a := range addrs[1:] {
+				a := a
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					c, err := core.JoinCluster(a, []node.Addr{addrs[0]}, settings, net)
+					mu.Lock()
+					defer mu.Unlock()
+					if err != nil {
+						joinErr = err
+						return
+					}
+					clusters = append(clusters, c)
+				}()
+			}
+			wg.Wait()
+			if joinErr != nil {
+				return TxnResult{}, joinErr
+			}
+			deadline := time.Now().Add(60 * time.Second)
+			for time.Now().Before(deadline) {
+				if seedCluster.Size() == servers {
+					break
+				}
+				time.Sleep(5 * time.Millisecond)
+			}
+			rm := rapidMembership{c: clusters[1]} // a coordinator other than the serialization server
+			source = rm
+			flapCount = func() int { return 0 }
+			cleanup = func() {
+				for _, c := range clusters {
+					c.Stop()
+				}
+			}
+		default:
+			return TxnResult{}, fmt.Errorf("unknown provider %q", provider)
+		}
+		defer cleanup()
+
+		platform := txn.NewPlatform(addrs, source, opts)
+		defer platform.Stop()
+
+		// Inject the blackhole between the serialization server (lowest
+		// address) and one other data server a third of the way into the run.
+		go func() {
+			time.Sleep(duration / 3)
+			net.BlockPair(addrs[0], addrs[servers/2])
+		}()
+
+		txns := platform.RunWorkload(4, duration)
+		lat := make([]float64, len(txns))
+		for i, r := range txns {
+			lat[i] = float64(r.Latency)
+		}
+		return TxnResult{
+			Provider:     provider,
+			Transactions: len(txns),
+			Failovers:    platform.Failovers(),
+			Flaps:        flapCount(),
+			P50Latency:   time.Duration(metrics.Percentile(lat, 50)),
+			P99Latency:   time.Duration(metrics.Percentile(lat, 99)),
+			MaxLatency:   time.Duration(metrics.Max(lat)),
+		}, nil
+	}
+
+	cfg.printf("== Figure 12: transactional platform under a packet blackhole ==\n")
+	cfg.printf("%-20s %8s %10s %8s %10s %10s %10s\n", "provider", "txns", "failovers", "flaps", "p50", "p99", "max")
+	for _, provider := range []string{"baseline-gossip-fd", "rapid"} {
+		r, err := runOne(provider)
+		if err != nil {
+			return results, fmt.Errorf("txn workload %s: %w", provider, err)
+		}
+		results = append(results, r)
+		cfg.printf("%-20s %8d %10d %8d %10s %10s %10s\n",
+			r.Provider, r.Transactions, r.Failovers, r.Flaps, r.P50Latency, r.P99Latency, r.MaxLatency)
+	}
+	return results, nil
+}
+
+// --- Figure 13: service discovery ---------------------------------------------
+
+// DiscoveryResult captures one membership-provider's run of the Figure 13
+// workload.
+type DiscoveryResult struct {
+	Provider   string
+	Requests   int
+	Reloads    int
+	Timeouts   int
+	P50Latency time.Duration
+	P99Latency time.Duration
+	MaxLatency time.Duration
+}
+
+// RunServiceDiscovery reproduces Figure 13: a load balancer discovers
+// `backends` web servers through either Rapid or the SWIM/Memberlist
+// baseline; part-way through a constant request workload, `failures` backends
+// crash simultaneously. Rapid delivers one batched view change (one nginx
+// reload); the baseline delivers several independent removals (several
+// reloads), inflating tail latency.
+func RunServiceDiscovery(cfg Config, backends, failures int, duration time.Duration) ([]DiscoveryResult, error) {
+	if backends < 10 {
+		backends = 10
+	}
+	if failures >= backends/2 {
+		failures = backends / 4
+	}
+	addrs := make([]node.Addr, backends)
+	for i := range addrs {
+		addrs[i] = node.Addr(fmt.Sprintf("web-%02d:8080", i))
+	}
+	lbOpts := discovery.DefaultOptions().Scaled(cfg.TimeScale / 5)
+	var results []DiscoveryResult
+
+	runOne := func(provider string) (DiscoveryResult, error) {
+		net := simnet.New(simnet.Options{Seed: cfg.Seed})
+		lb := discovery.NewLoadBalancer(addrs, lbOpts)
+		var cleanup func()
+		var crash func()
+
+		switch provider {
+		case "rapid":
+			settings := core.ScaledSettings(cfg.TimeScale)
+			node.SeedIDGenerator(cfg.Seed + 7)
+			seedCluster, err := core.StartCluster(addrs[0], settings, net)
+			if err != nil {
+				return DiscoveryResult{}, err
+			}
+			clusters := []*core.Cluster{seedCluster}
+			var mu sync.Mutex
+			var wg sync.WaitGroup
+			var joinErr error
+			for _, a := range addrs[1:] {
+				a := a
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					c, err := core.JoinCluster(a, []node.Addr{addrs[0]}, settings, net)
+					mu.Lock()
+					defer mu.Unlock()
+					if err != nil {
+						joinErr = err
+						return
+					}
+					clusters = append(clusters, c)
+				}()
+			}
+			wg.Wait()
+			if joinErr != nil {
+				return DiscoveryResult{}, joinErr
+			}
+			deadline := time.Now().Add(60 * time.Second)
+			for time.Now().Before(deadline) {
+				if seedCluster.Size() == backends {
+					break
+				}
+				time.Sleep(5 * time.Millisecond)
+			}
+			// The load balancer subscribes to view changes from a member that
+			// will not be crashed (the seed).
+			seedCluster.Subscribe(func(vc core.ViewChange) {
+				out := make([]node.Addr, 0, len(vc.Members))
+				for _, m := range vc.Members {
+					out = append(out, m.Addr)
+				}
+				lb.UpdateBackends(out)
+			})
+			crash = func() {
+				for i := 0; i < failures; i++ {
+					victim := addrs[backends-1-i]
+					lb.MarkActuallyDead(victim)
+					net.Crash(victim)
+				}
+			}
+			cleanup = func() {
+				for _, c := range clusters {
+					c.Stop()
+				}
+			}
+		case "memberlist":
+			opts := swim.DefaultOptions().Scaled(cfg.TimeScale)
+			opts.Seed = cfg.Seed
+			seedNode, err := swim.Start(addrs[0], nil, opts, net)
+			if err != nil {
+				return DiscoveryResult{}, err
+			}
+			nodes := []*swim.Node{seedNode}
+			for _, a := range addrs[1:] {
+				n, err := swim.Start(a, []node.Addr{addrs[0]}, opts, net)
+				if err != nil {
+					return DiscoveryResult{}, err
+				}
+				nodes = append(nodes, n)
+			}
+			deadline := time.Now().Add(60 * time.Second)
+			for time.Now().Before(deadline) {
+				if seedNode.NumAlive() == backends {
+					break
+				}
+				time.Sleep(5 * time.Millisecond)
+			}
+			// The load balancer polls the seed's view, as Serf agents
+			// refresh configuration from their local membership.
+			stopPoll := make(chan struct{})
+			go func() {
+				ticker := time.NewTicker(harness.Scale(time.Second, cfg.TimeScale))
+				defer ticker.Stop()
+				for {
+					select {
+					case <-stopPoll:
+						return
+					case <-ticker.C:
+						lb.UpdateBackends(seedNode.AliveMembers())
+					}
+				}
+			}()
+			crash = func() {
+				for i := 0; i < failures; i++ {
+					victim := addrs[backends-1-i]
+					lb.MarkActuallyDead(victim)
+					net.Crash(victim)
+				}
+			}
+			cleanup = func() {
+				close(stopPoll)
+				for _, n := range nodes {
+					n.Stop()
+				}
+			}
+		default:
+			return DiscoveryResult{}, fmt.Errorf("unknown provider %q", provider)
+		}
+		defer cleanup()
+
+		go func() {
+			time.Sleep(duration / 3)
+			crash()
+		}()
+		requests := lb.RunWorkload(400, duration)
+		lat := make([]float64, len(requests))
+		timeouts := 0
+		for i, r := range requests {
+			lat[i] = float64(r.Latency)
+			if r.TimedOut {
+				timeouts++
+			}
+		}
+		return DiscoveryResult{
+			Provider:   provider,
+			Requests:   len(requests),
+			Reloads:    lb.Reloads(),
+			Timeouts:   timeouts,
+			P50Latency: time.Duration(metrics.Percentile(lat, 50)),
+			P99Latency: time.Duration(metrics.Percentile(lat, 99)),
+			MaxLatency: time.Duration(metrics.Max(lat)),
+		}, nil
+	}
+
+	cfg.printf("== Figure 13: service discovery, %d of %d backends fail ==\n", failures, backends)
+	cfg.printf("%-12s %10s %8s %9s %10s %10s %10s\n", "provider", "requests", "reloads", "timeouts", "p50", "p99", "max")
+	for _, provider := range []string{"memberlist", "rapid"} {
+		r, err := runOne(provider)
+		if err != nil {
+			return results, fmt.Errorf("discovery workload %s: %w", provider, err)
+		}
+		results = append(results, r)
+		cfg.printf("%-12s %10d %8d %9d %10s %10s %10s\n",
+			r.Provider, r.Requests, r.Reloads, r.Timeouts, r.P50Latency, r.P99Latency, r.MaxLatency)
+	}
+	return results, nil
+}

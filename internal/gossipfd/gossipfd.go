@@ -1,0 +1,288 @@
+// Package gossipfd implements the "in-house gossip-style failure detector
+// that uses all-to-all monitoring" which the paper's distributed transactional
+// data platform used before Rapid (§7, Figure 12). Every node heartbeats to
+// every other node; a peer is declared dead as soon as one node misses
+// heartbeats from it for a timeout, and resurrected as soon as a heartbeat
+// gets through again. There is no coordination between the nodes' views,
+// which is precisely why it flaps under partial connectivity problems such as
+// the serialization-server blackhole injected in the Figure 12 experiment.
+package gossipfd
+
+import (
+	"bytes"
+	"context"
+	"encoding/gob"
+	"sync"
+	"time"
+
+	"repro/internal/node"
+	"repro/internal/remoting"
+	"repro/internal/simclock"
+	"repro/internal/transport"
+)
+
+const messageKind = "gossipfd"
+
+type heartbeat struct {
+	From node.Addr
+	Seq  uint64
+}
+
+func encode(h *heartbeat) []byte {
+	var buf bytes.Buffer
+	_ = gob.NewEncoder(&buf).Encode(h)
+	return buf.Bytes()
+}
+
+func decode(data []byte) (*heartbeat, bool) {
+	var h heartbeat
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&h); err != nil {
+		return nil, false
+	}
+	return &h, true
+}
+
+// Options tune the detector.
+type Options struct {
+	// HeartbeatInterval is how often each node heartbeats all peers.
+	HeartbeatInterval time.Duration
+	// FailureTimeout is how long a peer may be silent before being declared
+	// dead by this node.
+	FailureTimeout time.Duration
+	// Clock supplies time.
+	Clock simclock.Clock
+}
+
+// DefaultOptions uses 1-second heartbeats and a 3-second timeout.
+func DefaultOptions() Options {
+	return Options{HeartbeatInterval: time.Second, FailureTimeout: 3 * time.Second, Clock: simclock.NewReal()}
+}
+
+// Scaled divides every duration by factor.
+func (o Options) Scaled(factor float64) Options {
+	if factor <= 0 {
+		return o
+	}
+	scale := func(d time.Duration) time.Duration {
+		s := time.Duration(float64(d) / factor)
+		if s < time.Millisecond {
+			s = time.Millisecond
+		}
+		return s
+	}
+	o.HeartbeatInterval = scale(o.HeartbeatInterval)
+	o.FailureTimeout = scale(o.FailureTimeout)
+	return o
+}
+
+// StatusChange reports a peer transitioning between alive and dead in this
+// node's local view.
+type StatusChange struct {
+	Peer  node.Addr
+	Alive bool
+	At    time.Time
+}
+
+// Detector is one node's all-to-all failure detector.
+type Detector struct {
+	opts   Options
+	addr   node.Addr
+	peers  []node.Addr
+	net    transport.Network
+	client transport.Client
+	clock  simclock.Clock
+
+	mu        sync.Mutex
+	lastHeard map[node.Addr]time.Time
+	alive     map[node.Addr]bool
+	changes   []StatusChange
+	onChange  []func(StatusChange)
+	seq       uint64
+	stopped   bool
+
+	stopCh chan struct{}
+	wg     sync.WaitGroup
+}
+
+// Start creates a detector for a node with a static peer set (the data
+// platform's server fleet) and begins heartbeating.
+func Start(addr node.Addr, peers []node.Addr, opts Options, net transport.Network) (*Detector, error) {
+	if opts.Clock == nil {
+		opts.Clock = simclock.NewReal()
+	}
+	if opts.HeartbeatInterval <= 0 {
+		opts.HeartbeatInterval = time.Second
+	}
+	if opts.FailureTimeout <= 0 {
+		opts.FailureTimeout = 3 * opts.HeartbeatInterval
+	}
+	d := &Detector{
+		opts:      opts,
+		addr:      addr,
+		net:       net,
+		client:    net.Client(addr),
+		clock:     opts.Clock,
+		lastHeard: make(map[node.Addr]time.Time),
+		alive:     make(map[node.Addr]bool),
+		stopCh:    make(chan struct{}),
+	}
+	now := d.clock.Now()
+	for _, p := range peers {
+		if p == addr {
+			continue
+		}
+		d.peers = append(d.peers, p)
+		d.lastHeard[p] = now
+		d.alive[p] = true
+	}
+	if err := net.Register(addr, d); err != nil {
+		return nil, err
+	}
+	d.wg.Add(2)
+	go d.heartbeatLoop()
+	go d.checkLoop()
+	return d, nil
+}
+
+// Stop halts the detector.
+func (d *Detector) Stop() {
+	d.mu.Lock()
+	if d.stopped {
+		d.mu.Unlock()
+		return
+	}
+	d.stopped = true
+	d.mu.Unlock()
+	close(d.stopCh)
+	d.wg.Wait()
+	d.net.Deregister(d.addr)
+}
+
+// Addr returns this node's address.
+func (d *Detector) Addr() node.Addr { return d.addr }
+
+// Alive reports whether this node currently believes the peer is alive.
+func (d *Detector) Alive(peer node.Addr) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.alive[peer]
+}
+
+// NumAlive returns the number of peers believed alive, plus this node.
+func (d *Detector) NumAlive() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	count := 1
+	for _, ok := range d.alive {
+		if ok {
+			count++
+		}
+	}
+	return count
+}
+
+// Changes returns the history of status transitions observed by this node.
+// Flapping shows up as a long list of alternating transitions.
+func (d *Detector) Changes() []StatusChange {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]StatusChange, len(d.changes))
+	copy(out, d.changes)
+	return out
+}
+
+// OnChange registers a callback invoked on every local status transition.
+func (d *Detector) OnChange(cb func(StatusChange)) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.onChange = append(d.onChange, cb)
+}
+
+func (d *Detector) heartbeatLoop() {
+	defer d.wg.Done()
+	for {
+		select {
+		case <-d.stopCh:
+			return
+		case <-d.clock.After(d.opts.HeartbeatInterval):
+		}
+		d.mu.Lock()
+		d.seq++
+		seq := d.seq
+		peers := d.peers
+		d.mu.Unlock()
+		req := &remoting.Request{Custom: &remoting.CustomMessage{
+			Kind: messageKind,
+			Data: encode(&heartbeat{From: d.addr, Seq: seq}),
+		}}
+		for _, p := range peers {
+			d.client.SendBestEffort(p, req)
+		}
+	}
+}
+
+func (d *Detector) checkLoop() {
+	defer d.wg.Done()
+	for {
+		select {
+		case <-d.stopCh:
+			return
+		case <-d.clock.After(d.opts.HeartbeatInterval):
+		}
+		now := d.clock.Now()
+		var fired []StatusChange
+		d.mu.Lock()
+		for _, p := range d.peers {
+			silent := now.Sub(d.lastHeard[p]) >= d.opts.FailureTimeout
+			if silent && d.alive[p] {
+				d.alive[p] = false
+				change := StatusChange{Peer: p, Alive: false, At: now}
+				d.changes = append(d.changes, change)
+				fired = append(fired, change)
+			}
+		}
+		callbacks := make([]func(StatusChange), len(d.onChange))
+		copy(callbacks, d.onChange)
+		d.mu.Unlock()
+		for _, change := range fired {
+			for _, cb := range callbacks {
+				cb(change)
+			}
+		}
+	}
+}
+
+// HandleRequest implements transport.Handler: receiving a heartbeat marks the
+// sender alive again (possibly flapping it back).
+func (d *Detector) HandleRequest(_ context.Context, _ node.Addr, req *remoting.Request) (*remoting.Response, error) {
+	if req == nil || req.Custom == nil || req.Custom.Kind != messageKind {
+		return remoting.AckResponse(), nil
+	}
+	h, ok := decode(req.Custom.Data)
+	if !ok {
+		return remoting.AckResponse(), nil
+	}
+	now := d.clock.Now()
+	var fired *StatusChange
+	d.mu.Lock()
+	if _, known := d.lastHeard[h.From]; known {
+		d.lastHeard[h.From] = now
+		if !d.alive[h.From] {
+			d.alive[h.From] = true
+			change := StatusChange{Peer: h.From, Alive: true, At: now}
+			d.changes = append(d.changes, change)
+			fired = &change
+		}
+	}
+	callbacks := make([]func(StatusChange), len(d.onChange))
+	copy(callbacks, d.onChange)
+	d.mu.Unlock()
+	if fired != nil {
+		for _, cb := range callbacks {
+			cb(*fired)
+		}
+	}
+	return remoting.AckResponse(), nil
+}
+
+var _ transport.Handler = (*Detector)(nil)

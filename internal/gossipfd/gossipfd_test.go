@@ -1,0 +1,140 @@
+package gossipfd
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/node"
+	"repro/internal/simnet"
+)
+
+func opts() Options         { return DefaultOptions().Scaled(50) }
+func gaddr(i int) node.Addr { return node.Addr(fmt.Sprintf("gfd-%02d:1", i)) }
+
+func peers(n int) []node.Addr {
+	out := make([]node.Addr, n)
+	for i := range out {
+		out[i] = gaddr(i)
+	}
+	return out
+}
+
+func waitUntil(t *testing.T, timeout time.Duration, cond func() bool) bool {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return true
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return cond()
+}
+
+func startAll(t *testing.T, net *simnet.Network, n int) []*Detector {
+	t.Helper()
+	var out []*Detector
+	for i := 0; i < n; i++ {
+		d, err := Start(gaddr(i), peers(n), opts(), net)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+func stopAll(ds []*Detector) {
+	for _, d := range ds {
+		d.Stop()
+	}
+}
+
+func TestAllAliveInHealthyCluster(t *testing.T) {
+	net := simnet.New(simnet.Options{Seed: 1})
+	ds := startAll(t, net, 5)
+	defer stopAll(ds)
+	if !waitUntil(t, 10*time.Second, func() bool {
+		for _, d := range ds {
+			if d.NumAlive() != 5 {
+				return false
+			}
+		}
+		return true
+	}) {
+		t.Fatal("healthy cluster should see all peers alive")
+	}
+	// No spurious status transitions in a healthy cluster.
+	time.Sleep(10 * opts().HeartbeatInterval)
+	for _, d := range ds {
+		if len(d.Changes()) != 0 {
+			t.Fatalf("unexpected status changes in a healthy cluster: %v", d.Changes())
+		}
+	}
+}
+
+func TestCrashedPeerDetected(t *testing.T) {
+	net := simnet.New(simnet.Options{Seed: 2})
+	ds := startAll(t, net, 4)
+	defer stopAll(ds)
+	waitUntil(t, 10*time.Second, func() bool { return ds[0].NumAlive() == 4 })
+	net.Crash(ds[3].Addr())
+	if !waitUntil(t, 10*time.Second, func() bool {
+		return !ds[0].Alive(ds[3].Addr()) && !ds[1].Alive(ds[3].Addr())
+	}) {
+		t.Fatal("crashed peer was never detected")
+	}
+}
+
+func TestBlackholeBetweenTwoNodesCausesFlapping(t *testing.T) {
+	// The Figure 12 scenario: all packets between two specific nodes are
+	// dropped while both remain healthy. Each of them declares the other
+	// dead; everyone else still sees both alive. There is no coordination,
+	// so the two views conflict — and if the blackhole is intermittent the
+	// status flaps.
+	net := simnet.New(simnet.Options{Seed: 3})
+	ds := startAll(t, net, 4)
+	defer stopAll(ds)
+	waitUntil(t, 10*time.Second, func() bool { return ds[0].NumAlive() == 4 })
+
+	a, b := ds[0], ds[1]
+	net.BlockPair(a.Addr(), b.Addr())
+	if !waitUntil(t, 10*time.Second, func() bool {
+		return !a.Alive(b.Addr()) && !b.Alive(a.Addr())
+	}) {
+		t.Fatal("blackholed pair never suspected each other")
+	}
+	// A third party still believes both are alive: inconsistent views.
+	if !ds[2].Alive(a.Addr()) || !ds[2].Alive(b.Addr()) {
+		t.Fatal("an unaffected node should still see both endpoints of the blackhole as alive")
+	}
+	// Healing the blackhole flaps them back to alive.
+	net.UnblockPair(a.Addr(), b.Addr())
+	if !waitUntil(t, 10*time.Second, func() bool {
+		return a.Alive(b.Addr()) && b.Alive(a.Addr())
+	}) {
+		t.Fatal("peers never flapped back after the blackhole healed")
+	}
+	if len(a.Changes()) < 2 {
+		t.Fatalf("expected at least a down+up flap, got %v", a.Changes())
+	}
+}
+
+func TestOnChangeCallback(t *testing.T) {
+	net := simnet.New(simnet.Options{Seed: 4})
+	ds := startAll(t, net, 3)
+	defer stopAll(ds)
+	waitUntil(t, 10*time.Second, func() bool { return ds[0].NumAlive() == 3 })
+	events := make(chan StatusChange, 16)
+	ds[0].OnChange(func(c StatusChange) { events <- c })
+	net.Crash(ds[2].Addr())
+	select {
+	case c := <-events:
+		if c.Peer != ds[2].Addr() || c.Alive {
+			t.Fatalf("unexpected change event: %+v", c)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("OnChange callback never fired")
+	}
+}

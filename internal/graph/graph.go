@@ -1,0 +1,189 @@
+// Package graph analyses the expander properties of the K-ring monitoring
+// topology, following §8 of the Rapid paper. The monitoring relationships
+// form a d = 2K regular multigraph G over the membership: (u, v) is an edge
+// whenever u monitors v or v monitors u. The cut-detection guarantees rely on
+// G being an expander, quantified by the normalized second eigenvalue λ/d.
+// The paper reports λ/d < 0.45 for K = 10, which makes the detection
+// condition β < 1 − L/K − λ/d hold for L = 3 and β = 0.25.
+package graph
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/node"
+	"repro/internal/view"
+)
+
+// Multigraph is an undirected multigraph stored as an adjacency list with
+// multiplicities. Vertices are indexed 0..N-1.
+type Multigraph struct {
+	n   int
+	adj [][]int // adj[u] lists each neighbour once per parallel edge
+}
+
+// NewMultigraph creates an empty multigraph with n vertices.
+func NewMultigraph(n int) *Multigraph {
+	return &Multigraph{n: n, adj: make([][]int, n)}
+}
+
+// AddEdge adds an undirected edge between u and v (parallel edges allowed).
+func (g *Multigraph) AddEdge(u, v int) {
+	g.adj[u] = append(g.adj[u], v)
+	g.adj[v] = append(g.adj[v], u)
+}
+
+// NumVertices returns the number of vertices.
+func (g *Multigraph) NumVertices() int { return g.n }
+
+// Degree returns the degree of vertex u counting multiplicities.
+func (g *Multigraph) Degree(u int) int { return len(g.adj[u]) }
+
+// EdgesWithin counts the edges of the subgraph induced by the vertex set S
+// (each undirected edge counted once), as used in Lemma 1 of §8.
+func (g *Multigraph) EdgesWithin(set map[int]bool) int {
+	count := 0
+	for u := range set {
+		for _, v := range g.adj[u] {
+			if set[v] {
+				count++
+			}
+		}
+	}
+	return count / 2
+}
+
+// FromView builds the monitoring multigraph of a membership view: one edge
+// per (observer, subject) relation across all K rings, so the graph is
+// 2K-regular.
+func FromView(v *view.View) (*Multigraph, []node.Addr, error) {
+	members := v.MemberAddrs()
+	index := make(map[node.Addr]int, len(members))
+	for i, a := range members {
+		index[a] = i
+	}
+	g := NewMultigraph(len(members))
+	for _, a := range members {
+		subjects, err := v.SubjectsOf(a)
+		if err != nil {
+			return nil, nil, fmt.Errorf("graph: %w", err)
+		}
+		for _, s := range subjects {
+			g.AddEdge(index[a], index[s])
+		}
+	}
+	return g, members, nil
+}
+
+// SecondEigenvalue estimates the second-largest eigenvalue (in absolute
+// value) of the adjacency matrix using power iteration on the subspace
+// orthogonal to the all-ones vector. For a d-regular graph the top
+// eigenvector is uniform with eigenvalue d, so deflating it leaves λ2.
+func (g *Multigraph) SecondEigenvalue(iterations int, seed int64) float64 {
+	n := g.n
+	if n < 2 {
+		return 0
+	}
+	if iterations <= 0 {
+		iterations = 200
+	}
+	rng := rand.New(rand.NewSource(seed))
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	y := make([]float64, n)
+	var lambda float64
+	for it := 0; it < iterations; it++ {
+		removeMean(x)
+		normalize(x)
+		// y = A x
+		for i := range y {
+			y[i] = 0
+		}
+		for u := 0; u < n; u++ {
+			xu := x[u]
+			for _, v := range g.adj[u] {
+				y[v] += xu
+			}
+		}
+		removeMean(y)
+		lambda = norm(y)
+		x, y = y, x
+	}
+	return lambda
+}
+
+// removeMean projects out the all-ones direction.
+func removeMean(x []float64) {
+	var sum float64
+	for _, v := range x {
+		sum += v
+	}
+	mean := sum / float64(len(x))
+	for i := range x {
+		x[i] -= mean
+	}
+}
+
+func norm(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+func normalize(x []float64) {
+	n := norm(x)
+	if n == 0 {
+		return
+	}
+	for i := range x {
+		x[i] /= n
+	}
+}
+
+// ExpansionReport summarizes the spectral analysis of a monitoring topology.
+type ExpansionReport struct {
+	N               int
+	K               int
+	Degree          int
+	Lambda2         float64
+	NormalizedL2    float64 // λ2 / d
+	RamanujanBound  float64 // 2*sqrt(d-1)/d, the best possible for d-regular
+	DetectableBetaL func(l int) float64
+}
+
+// Analyze builds the monitoring graph of a view and reports its expansion.
+func Analyze(v *view.View, iterations int, seed int64) (ExpansionReport, error) {
+	g, _, err := FromView(v)
+	if err != nil {
+		return ExpansionReport{}, err
+	}
+	d := 2 * v.K()
+	lambda := g.SecondEigenvalue(iterations, seed)
+	rep := ExpansionReport{
+		N:              v.Size(),
+		K:              v.K(),
+		Degree:         d,
+		Lambda2:        lambda,
+		NormalizedL2:   lambda / float64(d),
+		RamanujanBound: 2 * math.Sqrt(float64(d-1)) / float64(d),
+	}
+	norm := rep.NormalizedL2
+	k := v.K()
+	rep.DetectableBetaL = func(l int) float64 {
+		// Equation (2) of §8: failures of density β are detected as long as
+		// β < 1 − L/K − λ/d.
+		return 1 - float64(l)/float64(k) - norm
+	}
+	return rep, nil
+}
+
+// DetectionConditionHolds checks Equation (2): whether a faulty set of
+// density beta is detectable given L-of-K monitoring and expansion λ/d.
+func DetectionConditionHolds(beta float64, l, k int, normalizedLambda float64) bool {
+	return beta < 1-float64(l)/float64(k)-normalizedLambda
+}

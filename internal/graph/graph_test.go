@@ -1,0 +1,160 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/node"
+	"repro/internal/view"
+)
+
+func buildView(k, n int) *view.View {
+	eps := make([]node.Endpoint, n)
+	for i := range eps {
+		eps[i] = node.Endpoint{
+			Addr: node.Addr(fmt.Sprintf("10.0.%d.%d:2000", i/250, i%250)),
+			ID:   node.ID{High: uint64(i + 1), Low: uint64(i * 7)},
+		}
+	}
+	return view.NewWithMembers(k, eps)
+}
+
+func TestFromViewIsRegular(t *testing.T) {
+	const k, n = 10, 100
+	v := buildView(k, n)
+	g, members, err := FromView(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(members) != n || g.NumVertices() != n {
+		t.Fatalf("graph has %d vertices, want %d", g.NumVertices(), n)
+	}
+	for u := 0; u < n; u++ {
+		if g.Degree(u) != 2*k {
+			t.Fatalf("vertex %d has degree %d, want %d", u, g.Degree(u), 2*k)
+		}
+	}
+}
+
+func TestCompleteGraphSecondEigenvalue(t *testing.T) {
+	// K_n has eigenvalues n-1 (once) and -1 (n-1 times), so |λ2| = 1.
+	const n = 20
+	g := NewMultigraph(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			g.AddEdge(i, j)
+		}
+	}
+	lambda := g.SecondEigenvalue(500, 1)
+	if math.Abs(lambda-1) > 0.05 {
+		t.Fatalf("complete graph λ2 estimate = %v, want ≈ 1", lambda)
+	}
+}
+
+func TestCycleGraphSecondEigenvalue(t *testing.T) {
+	// The cycle C_n is a poor expander: λ2 = 2cos(2π/n), close to d=2.
+	const n = 50
+	g := NewMultigraph(n)
+	for i := 0; i < n; i++ {
+		g.AddEdge(i, (i+1)%n)
+	}
+	want := 2 * math.Cos(2*math.Pi/float64(n))
+	lambda := g.SecondEigenvalue(2000, 1)
+	if math.Abs(lambda-want) > 0.05 {
+		t.Fatalf("cycle λ2 estimate = %v, want ≈ %v", lambda, want)
+	}
+}
+
+func TestKRingTopologyIsAnExpander(t *testing.T) {
+	// The paper observes λ/d < 0.45 consistently for K=10. Allow slack for
+	// the smaller cluster sizes used in tests.
+	v := buildView(10, 200)
+	rep, err := Analyze(v, 300, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Degree != 20 {
+		t.Fatalf("degree = %d, want 20", rep.Degree)
+	}
+	if rep.NormalizedL2 >= 0.55 {
+		t.Fatalf("λ/d = %v, expected an expander with λ/d well below 1 (paper: < 0.45)", rep.NormalizedL2)
+	}
+	// With L=3 and K=10 the detectable density must comfortably exceed 0.25.
+	if beta := rep.DetectableBetaL(3); beta < 0.2 {
+		t.Fatalf("detectable β = %v, want ≥ 0.2 per §8", beta)
+	}
+}
+
+func TestSmallGraphEigenvalueIsZero(t *testing.T) {
+	g := NewMultigraph(1)
+	if got := g.SecondEigenvalue(10, 1); got != 0 {
+		t.Fatalf("single-vertex graph λ2 = %v, want 0", got)
+	}
+}
+
+func TestEdgesWithin(t *testing.T) {
+	g := NewMultigraph(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	g.AddEdge(3, 0)
+	g.AddEdge(0, 2)
+	if got := g.EdgesWithin(map[int]bool{0: true, 1: true, 2: true}); got != 3 {
+		t.Fatalf("EdgesWithin({0,1,2}) = %d, want 3", got)
+	}
+	if got := g.EdgesWithin(map[int]bool{0: true}); got != 0 {
+		t.Fatalf("EdgesWithin({0}) = %d, want 0", got)
+	}
+}
+
+func TestEdgeExpansionOfFaultySets(t *testing.T) {
+	// Lemma 1/Corollary 2 consequence: for a small faulty set F, most of its
+	// monitoring edges leave F, so healthy nodes observe the failures. Verify
+	// that the number of edges inside a random 10% subset is far below the
+	// total degree of the subset.
+	const k, n = 10, 200
+	v := buildView(k, n)
+	g, _, err := FromView(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := make(map[int]bool)
+	for i := 0; i < n/10; i++ {
+		f[i*10] = true
+	}
+	inside := g.EdgesWithin(f)
+	totalDegree := 0
+	for u := range f {
+		totalDegree += g.Degree(u)
+	}
+	// Inside edges consume 2*inside degree endpoints; expect ≲ β ≈ 10% of
+	// endpoints to stay inside, use 25% as a generous bound.
+	if 2*inside > totalDegree/4 {
+		t.Fatalf("faulty set keeps %d of %d edge endpoints internal; topology is not expanding", 2*inside, totalDegree)
+	}
+}
+
+func TestDetectionConditionHolds(t *testing.T) {
+	// The paper's numbers: K=10, L=3, λ/d=0.45 ⇒ β < 0.25 is detectable.
+	if !DetectionConditionHolds(0.24, 3, 10, 0.45) {
+		t.Error("β=0.24 should satisfy the detection condition")
+	}
+	if DetectionConditionHolds(0.26, 3, 10, 0.45) {
+		t.Error("β=0.26 should not satisfy the detection condition")
+	}
+	if DetectionConditionHolds(0.1, 9, 10, 0.45) {
+		t.Error("L=9 of K=10 leaves no detection margin")
+	}
+}
+
+func TestAnalyzeOnTinyView(t *testing.T) {
+	v := buildView(3, 2)
+	rep, err := Analyze(v, 50, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.N != 2 {
+		t.Fatalf("N = %d, want 2", rep.N)
+	}
+}

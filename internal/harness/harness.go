@@ -1,0 +1,485 @@
+// Package harness boots whole clusters of membership agents — Rapid, Rapid-C,
+// the SWIM/Memberlist baseline and the ZooKeeper-style baseline — inside one
+// process on the simulated network, injects the paper's failure scenarios,
+// and records the per-node time series of reported cluster sizes that the
+// evaluation figures are drawn from.
+package harness
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/centralized"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/node"
+	"repro/internal/simnet"
+	"repro/internal/swim"
+	"repro/internal/zkmock"
+)
+
+// System identifies which membership implementation a fleet runs.
+type System string
+
+// The systems compared throughout the paper's evaluation.
+const (
+	SystemRapid      System = "rapid"
+	SystemRapidC     System = "rapid-c"
+	SystemMemberlist System = "memberlist"
+	SystemZooKeeper  System = "zookeeper"
+)
+
+// Agent is the minimal surface the harness needs from any membership agent.
+type Agent interface {
+	// Addr is the agent's address.
+	Addr() node.Addr
+	// ReportedSize is the cluster size this agent currently believes in.
+	ReportedSize() int
+	// Stop shuts the agent down.
+	Stop()
+}
+
+// --- adapters ----------------------------------------------------------------
+
+type rapidAgent struct{ c *core.Cluster }
+
+func (a rapidAgent) Addr() node.Addr   { return a.c.Addr() }
+func (a rapidAgent) ReportedSize() int { return a.c.Size() }
+func (a rapidAgent) Stop()             { a.c.Stop() }
+
+type rapidCAgent struct{ m *centralized.Member }
+
+func (a rapidCAgent) Addr() node.Addr   { return a.m.Addr() }
+func (a rapidCAgent) ReportedSize() int { return a.m.Size() }
+func (a rapidCAgent) Stop()             { a.m.Stop() }
+
+type swimAgent struct{ n *swim.Node }
+
+func (a swimAgent) Addr() node.Addr   { return a.n.Addr() }
+func (a swimAgent) ReportedSize() int { return a.n.NumAlive() }
+func (a swimAgent) Stop()             { a.n.Stop() }
+
+type zkAgent struct{ c *zkmock.Client }
+
+func (a zkAgent) Addr() node.Addr   { return a.c.Addr() }
+func (a zkAgent) ReportedSize() int { return a.c.NumAlive() }
+func (a zkAgent) Stop()             { a.c.Stop() }
+
+// --- fleet -------------------------------------------------------------------
+
+// Options configure a fleet.
+type Options struct {
+	// System selects the membership implementation.
+	System System
+	// N is the number of cluster members (agents).
+	N int
+	// TimeScale compresses every protocol duration by this factor so the
+	// paper's second-scale experiments run in milliseconds.
+	TimeScale float64
+	// SampleInterval is how often every agent's reported size is recorded.
+	SampleInterval time.Duration
+	// Seed makes the run reproducible.
+	Seed int64
+	// AccountBandwidth enables per-node byte accounting (Table 2).
+	AccountBandwidth bool
+	// JoinConcurrency bounds how many joins run at once (0 = all at once).
+	JoinConcurrency int
+}
+
+// Fleet is a running cluster of agents plus its infrastructure processes.
+type Fleet struct {
+	Options Options
+	Net     *simnet.Network
+
+	mu       sync.Mutex
+	agents   []Agent
+	series   map[node.Addr]*metrics.Series
+	joinTime map[node.Addr]time.Duration
+	started  time.Time
+	infra    []func() // shutdown hooks for seeds/registries/ensembles
+
+	samplerStop chan struct{}
+	samplerDone sync.WaitGroup
+}
+
+// seedAddr is the bootstrap address used by every system.
+const seedAddr = node.Addr("seed-0:9000")
+
+// registryAddr is the ZooKeeper-style registry address.
+const registryAddr = node.Addr("zk-registry:2181")
+
+func ensembleAddrs() []node.Addr {
+	return []node.Addr{"rapid-c-a:9100", "rapid-c-b:9100", "rapid-c-c:9100"}
+}
+
+// memberAddr names the i-th cluster member.
+func memberAddr(i int) node.Addr {
+	return node.Addr(fmt.Sprintf("m%04d:9000", i))
+}
+
+// MemberAddr exposes the fleet's address naming scheme to experiments.
+func MemberAddr(i int) node.Addr { return memberAddr(i) }
+
+// Launch boots a fleet: infrastructure first (seed / registry / ensemble),
+// then all remaining members concurrently, which is exactly the bootstrap
+// workload of Figure 5. It returns once every join call has returned.
+func Launch(opts Options) (*Fleet, error) {
+	if opts.N <= 0 {
+		return nil, fmt.Errorf("harness: fleet size must be positive")
+	}
+	if opts.TimeScale <= 0 {
+		opts.TimeScale = 50
+	}
+	if opts.SampleInterval <= 0 {
+		opts.SampleInterval = 20 * time.Millisecond
+	}
+	node.SeedIDGenerator(opts.Seed)
+	f := &Fleet{
+		Options:     opts,
+		Net:         simnet.New(simnet.Options{Seed: opts.Seed, AccountBandwidth: opts.AccountBandwidth}),
+		series:      make(map[node.Addr]*metrics.Series),
+		joinTime:    make(map[node.Addr]time.Duration),
+		samplerStop: make(chan struct{}),
+	}
+	f.started = time.Now()
+
+	if err := f.startInfrastructure(); err != nil {
+		return nil, err
+	}
+	f.startSampler()
+
+	if err := f.startMembers(); err != nil {
+		f.Stop()
+		return nil, err
+	}
+	return f, nil
+}
+
+// startInfrastructure boots the per-system bootstrap processes.
+func (f *Fleet) startInfrastructure() error {
+	switch f.Options.System {
+	case SystemRapid:
+		settings := core.ScaledSettings(f.Options.TimeScale)
+		seed, err := core.StartCluster(seedAddr, settings, f.Net)
+		if err != nil {
+			return err
+		}
+		f.addAgent(rapidAgent{seed}, 0)
+		f.infra = append(f.infra, func() {})
+	case SystemRapidC:
+		ens := centralized.DefaultEnsembleSettings()
+		ens.ConsensusFallbackBase = scaled(4*time.Second, f.Options.TimeScale)
+		nodes, err := centralized.StartEnsemble(ensembleAddrs(), ens, f.Net)
+		if err != nil {
+			return err
+		}
+		f.infra = append(f.infra, func() {
+			for _, n := range nodes {
+				n.Stop()
+			}
+		})
+	case SystemMemberlist:
+		seed, err := swim.Start(seedAddr, nil, swim.DefaultOptions().Scaled(f.Options.TimeScale), f.Net)
+		if err != nil {
+			return err
+		}
+		f.addAgent(swimAgent{seed}, 0)
+	case SystemZooKeeper:
+		reg, err := zkmock.StartRegistry(registryAddr, zkmock.DefaultRegistryOptions().Scaled(f.Options.TimeScale), f.Net)
+		if err != nil {
+			return err
+		}
+		f.infra = append(f.infra, reg.Stop)
+	default:
+		return fmt.Errorf("harness: unknown system %q", f.Options.System)
+	}
+	return nil
+}
+
+// startMembers launches the remaining members concurrently.
+func (f *Fleet) startMembers() error {
+	// Members 1..N-1 for decentralized systems (the seed counts as member 0);
+	// members 0..N-1 for registry/ensemble systems.
+	start := 1
+	if f.Options.System == SystemRapidC || f.Options.System == SystemZooKeeper {
+		start = 0
+	}
+	type result struct {
+		agent Agent
+		idx   int
+		err   error
+		took  time.Duration
+	}
+	count := f.Options.N - start
+	results := make(chan result, count)
+	limit := f.Options.JoinConcurrency
+	if limit <= 0 {
+		limit = count
+	}
+	sem := make(chan struct{}, limit)
+	for i := start; i < f.Options.N; i++ {
+		i := i
+		go func() {
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			begin := time.Now()
+			agent, err := f.startMember(i)
+			results <- result{agent: agent, idx: i, err: err, took: time.Since(begin)}
+		}()
+	}
+	var firstErr error
+	for j := 0; j < count; j++ {
+		r := <-results
+		if r.err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("harness: member %d failed to join: %w", r.idx, r.err)
+			}
+			continue
+		}
+		f.addAgent(r.agent, r.took)
+	}
+	return firstErr
+}
+
+// startMember boots one cluster member of the configured system.
+func (f *Fleet) startMember(i int) (Agent, error) {
+	addr := memberAddr(i)
+	switch f.Options.System {
+	case SystemRapid:
+		settings := core.ScaledSettings(f.Options.TimeScale)
+		c, err := core.JoinCluster(addr, []node.Addr{seedAddr}, settings, f.Net)
+		if err != nil {
+			return nil, err
+		}
+		return rapidAgent{c}, nil
+	case SystemRapidC:
+		ms := centralized.DefaultMemberSettings()
+		ms.PollInterval = scaled(5*time.Second, f.Options.TimeScale)
+		ms.ProbeInterval = scaled(time.Second, f.Options.TimeScale)
+		ms.ProbeTimeout = scaled(500*time.Millisecond, f.Options.TimeScale)
+		ms.JoinTimeout = 30 * time.Second
+		m, err := centralized.JoinViaEnsemble(addr, ensembleAddrs(), ms, f.Net)
+		if err != nil {
+			return nil, err
+		}
+		return rapidCAgent{m}, nil
+	case SystemMemberlist:
+		n, err := swim.Start(addr, []node.Addr{seedAddr}, swim.DefaultOptions().Scaled(f.Options.TimeScale), f.Net)
+		if err != nil {
+			return nil, err
+		}
+		return swimAgent{n}, nil
+	case SystemZooKeeper:
+		c, err := zkmock.StartClient(addr, registryAddr, zkmock.DefaultClientOptions().Scaled(f.Options.TimeScale), f.Net)
+		if err != nil {
+			return nil, err
+		}
+		return zkAgent{c}, nil
+	default:
+		return nil, fmt.Errorf("harness: unknown system %q", f.Options.System)
+	}
+}
+
+func (f *Fleet) addAgent(a Agent, joinTime time.Duration) {
+	s := &metrics.Series{}
+	// Record an initial observation so short-lived experiments (and agents
+	// that converge before the first sampler tick) still have data.
+	s.Record(time.Now(), float64(a.ReportedSize()))
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.agents = append(f.agents, a)
+	f.series[a.Addr()] = s
+	f.joinTime[a.Addr()] = joinTime
+}
+
+// startSampler records every agent's reported size at the sample interval.
+func (f *Fleet) startSampler() {
+	f.samplerDone.Add(1)
+	go func() {
+		defer f.samplerDone.Done()
+		ticker := time.NewTicker(f.Options.SampleInterval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-f.samplerStop:
+				return
+			case now := <-ticker.C:
+				f.mu.Lock()
+				agents := append([]Agent(nil), f.agents...)
+				f.mu.Unlock()
+				for _, a := range agents {
+					f.mu.Lock()
+					s := f.series[a.Addr()]
+					f.mu.Unlock()
+					if s != nil {
+						s.Record(now, float64(a.ReportedSize()))
+					}
+				}
+			}
+		}
+	}()
+}
+
+// Agents returns the running agents.
+func (f *Fleet) Agents() []Agent {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]Agent(nil), f.agents...)
+}
+
+// Agent returns the agent bound to addr, if any.
+func (f *Fleet) Agent(addr node.Addr) (Agent, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, a := range f.agents {
+		if a.Addr() == addr {
+			return a, true
+		}
+	}
+	return nil, false
+}
+
+// Series returns the recorded size series for one agent.
+func (f *Fleet) Series(addr node.Addr) *metrics.Series {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.series[addr]
+}
+
+// Started returns the fleet's launch time (t=0 of every experiment).
+func (f *Fleet) Started() time.Time { return f.started }
+
+// JoinLatencies returns each member's join-call duration.
+func (f *Fleet) JoinLatencies() map[node.Addr]time.Duration {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make(map[node.Addr]time.Duration, len(f.joinTime))
+	for k, v := range f.joinTime {
+		out[k] = v
+	}
+	return out
+}
+
+// WaitForSize blocks until every agent reports the target size or the timeout
+// elapses; it returns the time that took and whether convergence was reached.
+func (f *Fleet) WaitForSize(target int, timeout time.Duration) (time.Duration, bool) {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if f.allReport(target) {
+			return time.Since(f.started), true
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return time.Since(f.started), f.allReport(target)
+}
+
+// allReport reports whether every live agent currently reports the target size.
+func (f *Fleet) allReport(target int) bool {
+	for _, a := range f.Agents() {
+		if a.ReportedSize() != target {
+			return false
+		}
+	}
+	return true
+}
+
+// WaitForSizeExcluding is WaitForSize over the agents not in the excluded set
+// (used after crashing or partitioning some members).
+func (f *Fleet) WaitForSizeExcluding(target int, excluded map[node.Addr]bool, timeout time.Duration) (time.Duration, bool) {
+	begin := time.Now()
+	deadline := begin.Add(timeout)
+	check := func() bool {
+		for _, a := range f.Agents() {
+			if excluded[a.Addr()] {
+				continue
+			}
+			if a.ReportedSize() != target {
+				return false
+			}
+		}
+		return true
+	}
+	for time.Now().Before(deadline) {
+		if check() {
+			return time.Since(begin), true
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return time.Since(begin), check()
+}
+
+// UniqueReportedSizes returns the number of distinct cluster sizes observed
+// across all agents (Table 1's metric), optionally excluding some agents.
+func (f *Fleet) UniqueReportedSizes(excluded map[node.Addr]bool) int {
+	seen := make(map[float64]struct{})
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for addr, s := range f.series {
+		if excluded[addr] {
+			continue
+		}
+		for _, sample := range s.Samples() {
+			seen[sample.Value] = struct{}{}
+		}
+	}
+	return len(seen)
+}
+
+// PerAgentConvergence returns, for each agent, the duration from fleet launch
+// until the agent first reported the target size (Figure 6's ECDF input).
+// Agents that never reported the target are omitted.
+func (f *Fleet) PerAgentConvergence(target int) []time.Duration {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var out []time.Duration
+	for _, s := range f.series {
+		for _, sample := range s.Samples() {
+			if int(sample.Value) == target {
+				out = append(out, sample.At.Sub(f.started))
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Crash abruptly fails the agents at the given addresses.
+func (f *Fleet) Crash(addrs ...node.Addr) {
+	for _, a := range addrs {
+		f.Net.Crash(a)
+	}
+}
+
+// Stop shuts down sampling, all agents, and the infrastructure.
+func (f *Fleet) Stop() {
+	close(f.samplerStop)
+	f.samplerDone.Wait()
+	var wg sync.WaitGroup
+	for _, a := range f.Agents() {
+		wg.Add(1)
+		go func(a Agent) {
+			defer wg.Done()
+			a.Stop()
+		}(a)
+	}
+	wg.Wait()
+	for _, stop := range f.infra {
+		stop()
+	}
+}
+
+// scaled divides a duration by the time-compression factor.
+func scaled(d time.Duration, factor float64) time.Duration {
+	if factor <= 0 {
+		return d
+	}
+	s := time.Duration(float64(d) / factor)
+	if s < time.Millisecond {
+		s = time.Millisecond
+	}
+	return s
+}
+
+// Scale exposes the duration scaling used by the harness to experiments.
+func Scale(d time.Duration, factor float64) time.Duration { return scaled(d, factor) }

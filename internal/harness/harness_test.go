@@ -1,0 +1,94 @@
+package harness
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/node"
+)
+
+func launch(t *testing.T, system System, n int) *Fleet {
+	t.Helper()
+	f, err := Launch(Options{System: system, N: n, TimeScale: 50, Seed: int64(n) * 7})
+	if err != nil {
+		t.Fatalf("Launch(%s, %d): %v", system, n, err)
+	}
+	return f
+}
+
+func TestLaunchRapidFleetConverges(t *testing.T) {
+	f := launch(t, SystemRapid, 8)
+	defer f.Stop()
+	if _, ok := f.WaitForSize(8, 30*time.Second); !ok {
+		t.Fatal("rapid fleet did not converge")
+	}
+	if len(f.Agents()) != 8 {
+		t.Fatalf("agents = %d, want 8", len(f.Agents()))
+	}
+	// Give the sampler a few ticks after convergence before inspecting series.
+	time.Sleep(100 * time.Millisecond)
+	if got := f.UniqueReportedSizes(nil); got < 1 {
+		t.Fatalf("UniqueReportedSizes = %d", got)
+	}
+	latencies := f.JoinLatencies()
+	if len(latencies) != 8 {
+		t.Fatalf("join latencies recorded for %d agents, want 8", len(latencies))
+	}
+	per := f.PerAgentConvergence(8)
+	if len(per) != 8 {
+		t.Fatalf("per-agent convergence has %d entries, want 8", len(per))
+	}
+}
+
+func TestLaunchMemberlistFleetConverges(t *testing.T) {
+	f := launch(t, SystemMemberlist, 8)
+	defer f.Stop()
+	if _, ok := f.WaitForSize(8, 30*time.Second); !ok {
+		t.Fatal("memberlist fleet did not converge")
+	}
+}
+
+func TestLaunchZooKeeperFleetConverges(t *testing.T) {
+	f := launch(t, SystemZooKeeper, 8)
+	defer f.Stop()
+	if _, ok := f.WaitForSize(8, 30*time.Second); !ok {
+		t.Fatal("zookeeper fleet did not converge")
+	}
+}
+
+func TestLaunchRapidCFleetConverges(t *testing.T) {
+	f := launch(t, SystemRapidC, 6)
+	defer f.Stop()
+	if _, ok := f.WaitForSize(6, 30*time.Second); !ok {
+		t.Fatal("rapid-c fleet did not converge")
+	}
+}
+
+func TestCrashAndWaitExcluding(t *testing.T) {
+	f := launch(t, SystemRapid, 8)
+	defer f.Stop()
+	if _, ok := f.WaitForSize(8, 30*time.Second); !ok {
+		t.Fatal("fleet did not converge")
+	}
+	victim := f.Agents()[3].Addr()
+	f.Crash(victim)
+	excluded := map[node.Addr]bool{victim: true}
+	if _, ok := f.WaitForSizeExcluding(7, excluded, 30*time.Second); !ok {
+		t.Fatal("survivors did not remove the crashed agent")
+	}
+	if _, found := f.Agent(victim); !found {
+		t.Fatal("Agent lookup by address failed")
+	}
+}
+
+func TestUnknownSystemRejected(t *testing.T) {
+	if _, err := Launch(Options{System: System("nope"), N: 3}); err == nil {
+		t.Fatal("unknown system should be rejected")
+	}
+}
+
+func TestZeroSizeRejected(t *testing.T) {
+	if _, err := Launch(Options{System: SystemRapid, N: 0}); err == nil {
+		t.Fatal("zero-size fleet should be rejected")
+	}
+}

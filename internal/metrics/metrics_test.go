@@ -1,0 +1,166 @@
+package metrics
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 10; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 10000 {
+		t.Errorf("counter = %d, want 10000", c.Value())
+	}
+}
+
+func TestSeriesBasics(t *testing.T) {
+	var s Series
+	if _, ok := s.Last(); ok {
+		t.Error("Last on empty series should report false")
+	}
+	base := time.Unix(0, 0)
+	s.Record(base, 1)
+	s.Record(base.Add(time.Second), 2)
+	s.Record(base.Add(2*time.Second), 2)
+	if s.Len() != 3 {
+		t.Errorf("Len = %d, want 3", s.Len())
+	}
+	if s.UniqueValues() != 2 {
+		t.Errorf("UniqueValues = %d, want 2", s.UniqueValues())
+	}
+	last, ok := s.Last()
+	if !ok || last.Value != 2 {
+		t.Errorf("Last = %+v, %v", last, ok)
+	}
+	samples := s.Samples()
+	samples[0].Value = 99
+	if s.Samples()[0].Value == 99 {
+		t.Error("Samples must return a copy")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	vals := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1}, {50, 5}, {100, 10}, {99, 10}, {10, 1},
+	}
+	for _, c := range cases {
+		if got := Percentile(vals, c.p); got != c.want {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Error("Percentile of empty input should be 0")
+	}
+}
+
+func TestPercentileDoesNotMutateInput(t *testing.T) {
+	vals := []float64{5, 1, 3}
+	Percentile(vals, 50)
+	if vals[0] != 5 || vals[1] != 1 || vals[2] != 3 {
+		t.Error("Percentile must not sort the caller's slice")
+	}
+}
+
+func TestPercentileWithinRangeProperty(t *testing.T) {
+	prop := func(raw []float64, p float64) bool {
+		vals := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				vals = append(vals, v)
+			}
+		}
+		if len(vals) == 0 {
+			return Percentile(vals, p) == 0
+		}
+		pct := math.Mod(math.Abs(p), 100)
+		got := Percentile(vals, pct)
+		return got >= Percentile(vals, 0) && got <= Percentile(vals, 100)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Errorf("percentile out of range: %v", err)
+	}
+}
+
+func TestMeanMax(t *testing.T) {
+	if Mean([]float64{2, 4, 6}) != 4 {
+		t.Error("Mean wrong")
+	}
+	if Mean(nil) != 0 {
+		t.Error("Mean of empty should be 0")
+	}
+	if Max([]float64{2, 9, 6}) != 9 {
+		t.Error("Max wrong")
+	}
+	if Max(nil) != 0 {
+		t.Error("Max of empty should be 0")
+	}
+}
+
+func TestBandwidthRecorder(t *testing.T) {
+	start := time.Unix(100, 0)
+	r := NewBandwidthRecorder(start, time.Second)
+	r.RecordReceived(start, 1024)
+	r.RecordReceived(start.Add(500*time.Millisecond), 1024)
+	r.RecordReceived(start.Add(2*time.Second), 512)
+	rates := r.ReceivedRates()
+	if len(rates) != 3 {
+		t.Fatalf("expected 3 buckets (including empty middle), got %d: %v", len(rates), rates)
+	}
+	if rates[0] != 2048 || rates[1] != 0 || rates[2] != 512 {
+		t.Errorf("rates = %v", rates)
+	}
+	sum := Summarize(rates)
+	if sum.MaxKBps != 2 {
+		t.Errorf("MaxKBps = %v, want 2", sum.MaxKBps)
+	}
+	if sum.MeanKBps <= 0 || sum.MeanKBps >= 2 {
+		t.Errorf("MeanKBps = %v, want in (0,2)", sum.MeanKBps)
+	}
+}
+
+func TestBandwidthRecorderSentSeparate(t *testing.T) {
+	start := time.Unix(0, 0)
+	r := NewBandwidthRecorder(start, time.Second)
+	r.RecordSent(start, 100)
+	if len(r.ReceivedRates()) != 0 {
+		t.Error("sent bytes must not appear in received rates")
+	}
+	if len(r.SentRates()) != 1 {
+		t.Error("sent rates missing")
+	}
+}
+
+func TestBandwidthRecorderBeforeStartClamped(t *testing.T) {
+	start := time.Unix(100, 0)
+	r := NewBandwidthRecorder(start, time.Second)
+	r.RecordSent(start.Add(-10*time.Second), 100)
+	rates := r.SentRates()
+	if len(rates) != 1 || rates[0] != 100 {
+		t.Errorf("early samples should be clamped to the first bucket, got %v", rates)
+	}
+}
+
+func TestNewBandwidthRecorderDefaultsBucket(t *testing.T) {
+	r := NewBandwidthRecorder(time.Unix(0, 0), 0)
+	r.RecordSent(time.Unix(0, 0), 2048)
+	if got := r.SentRates()[0]; got != 2048 {
+		t.Errorf("default bucket should be 1s; rate = %v", got)
+	}
+}

@@ -1,0 +1,65 @@
+package remoting
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// EncodeRequest serializes a request with encoding/gob. The byte length of
+// the result is what transports report to the bandwidth accounting used for
+// Table 2 of the paper.
+func EncodeRequest(req *Request) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(req); err != nil {
+		return nil, fmt.Errorf("remoting: encode request: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeRequest deserializes a request previously produced by EncodeRequest.
+func DecodeRequest(data []byte) (*Request, error) {
+	var req Request
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&req); err != nil {
+		return nil, fmt.Errorf("remoting: decode request: %w", err)
+	}
+	return &req, nil
+}
+
+// EncodeResponse serializes a response.
+func EncodeResponse(resp *Response) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(resp); err != nil {
+		return nil, fmt.Errorf("remoting: encode response: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeResponse deserializes a response previously produced by EncodeResponse.
+func DecodeResponse(data []byte) (*Response, error) {
+	var resp Response
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&resp); err != nil {
+		return nil, fmt.Errorf("remoting: decode response: %w", err)
+	}
+	return &resp, nil
+}
+
+// RequestSize returns the encoded size of a request in bytes, or 0 if the
+// request cannot be encoded. The simulated network uses this for byte
+// accounting without shipping encoded bytes around.
+func RequestSize(req *Request) int {
+	data, err := EncodeRequest(req)
+	if err != nil {
+		return 0
+	}
+	return len(data)
+}
+
+// ResponseSize returns the encoded size of a response in bytes.
+func ResponseSize(resp *Response) int {
+	data, err := EncodeResponse(resp)
+	if err != nil {
+		return 0
+	}
+	return len(data)
+}

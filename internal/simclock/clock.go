@@ -1,0 +1,127 @@
+// Package simclock provides the clock abstraction used by all protocol code.
+// Production code uses the real wall clock; unit tests and deterministic
+// simulations drive a manual clock so that timeouts (failure detection
+// windows, consensus fallback delays, reinforcement timeouts) can be
+// exercised without real sleeping.
+package simclock
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Clock is the minimal time facility protocol code needs: reading the current
+// time, sleeping, and obtaining wakeup channels.
+type Clock interface {
+	// Now returns the current time according to this clock.
+	Now() time.Time
+	// Sleep blocks for d.
+	Sleep(d time.Duration)
+	// After returns a channel that delivers the clock's time once d elapsed.
+	After(d time.Duration) <-chan time.Time
+	// Since returns the time elapsed since t.
+	Since(t time.Time) time.Duration
+}
+
+// Real is a Clock backed by the wall clock.
+type Real struct{}
+
+// NewReal returns the wall-clock implementation of Clock.
+func NewReal() Real { return Real{} }
+
+// Now implements Clock.
+func (Real) Now() time.Time { return time.Now() }
+
+// Sleep implements Clock.
+func (Real) Sleep(d time.Duration) { time.Sleep(d) }
+
+// After implements Clock.
+func (Real) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// Since implements Clock.
+func (Real) Since(t time.Time) time.Duration { return time.Since(t) }
+
+// Manual is a Clock whose time only moves when Advance is called. Sleepers
+// and After-channels fire when the manual time passes their deadline.
+type Manual struct {
+	mu      sync.Mutex
+	now     time.Time
+	waiters []*waiter
+}
+
+type waiter struct {
+	deadline time.Time
+	ch       chan time.Time
+}
+
+// NewManual returns a manual clock starting at the given time.
+func NewManual(start time.Time) *Manual {
+	return &Manual{now: start}
+}
+
+// Now implements Clock.
+func (m *Manual) Now() time.Time {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.now
+}
+
+// Since implements Clock.
+func (m *Manual) Since(t time.Time) time.Duration {
+	return m.Now().Sub(t)
+}
+
+// After implements Clock. The returned channel fires when Advance moves the
+// clock at or past the deadline.
+func (m *Manual) After(d time.Duration) <-chan time.Time {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ch := make(chan time.Time, 1)
+	w := &waiter{deadline: m.now.Add(d), ch: ch}
+	if d <= 0 {
+		ch <- m.now
+		return ch
+	}
+	m.waiters = append(m.waiters, w)
+	return ch
+}
+
+// Sleep implements Clock: it blocks until the manual time advances past the
+// deadline. Another goroutine must call Advance for Sleep to return.
+func (m *Manual) Sleep(d time.Duration) {
+	<-m.After(d)
+}
+
+// Advance moves the clock forward by d and fires any waiters whose deadline
+// has been reached, in deadline order.
+func (m *Manual) Advance(d time.Duration) {
+	m.mu.Lock()
+	m.now = m.now.Add(d)
+	now := m.now
+	var due, remaining []*waiter
+	for _, w := range m.waiters {
+		if !w.deadline.After(now) {
+			due = append(due, w)
+		} else {
+			remaining = append(remaining, w)
+		}
+	}
+	m.waiters = remaining
+	m.mu.Unlock()
+
+	sort.Slice(due, func(i, j int) bool { return due[i].deadline.Before(due[j].deadline) })
+	for _, w := range due {
+		w.ch <- now
+	}
+}
+
+// PendingWaiters reports how many sleepers/After channels have not fired yet.
+func (m *Manual) PendingWaiters() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.waiters)
+}
+
+var _ Clock = Real{}
+var _ Clock = (*Manual)(nil)

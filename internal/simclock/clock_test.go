@@ -1,0 +1,114 @@
+package simclock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRealClockMonotonicEnough(t *testing.T) {
+	c := NewReal()
+	a := c.Now()
+	c.Sleep(time.Millisecond)
+	if c.Since(a) <= 0 {
+		t.Error("real clock did not advance across Sleep")
+	}
+	select {
+	case <-c.After(time.Millisecond):
+	case <-time.After(time.Second):
+		t.Error("real clock After never fired")
+	}
+}
+
+func TestManualNowAndAdvance(t *testing.T) {
+	start := time.Unix(1000, 0)
+	c := NewManual(start)
+	if !c.Now().Equal(start) {
+		t.Fatalf("Now = %v, want %v", c.Now(), start)
+	}
+	c.Advance(5 * time.Second)
+	if got := c.Since(start); got != 5*time.Second {
+		t.Errorf("Since = %v, want 5s", got)
+	}
+}
+
+func TestManualAfterFiresAtDeadline(t *testing.T) {
+	c := NewManual(time.Unix(0, 0))
+	ch := c.After(10 * time.Second)
+	select {
+	case <-ch:
+		t.Fatal("After fired before any Advance")
+	default:
+	}
+	c.Advance(9 * time.Second)
+	select {
+	case <-ch:
+		t.Fatal("After fired before the deadline")
+	default:
+	}
+	c.Advance(time.Second)
+	select {
+	case now := <-ch:
+		if !now.Equal(time.Unix(10, 0)) {
+			t.Errorf("After delivered %v, want %v", now, time.Unix(10, 0))
+		}
+	default:
+		t.Fatal("After did not fire at the deadline")
+	}
+}
+
+func TestManualAfterZeroFiresImmediately(t *testing.T) {
+	c := NewManual(time.Unix(0, 0))
+	select {
+	case <-c.After(0):
+	default:
+		t.Fatal("After(0) should fire immediately")
+	}
+	select {
+	case <-c.After(-time.Second):
+	default:
+		t.Fatal("After(negative) should fire immediately")
+	}
+}
+
+func TestManualSleepUnblocksOnAdvance(t *testing.T) {
+	c := NewManual(time.Unix(0, 0))
+	done := make(chan struct{})
+	go func() {
+		c.Sleep(3 * time.Second)
+		close(done)
+	}()
+	// Wait for the sleeper to register.
+	deadline := time.Now().Add(time.Second)
+	for c.PendingWaiters() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	c.Advance(3 * time.Second)
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("Sleep did not return after Advance")
+	}
+}
+
+func TestManualMultipleWaitersFireInOrder(t *testing.T) {
+	c := NewManual(time.Unix(0, 0))
+	ch1 := c.After(1 * time.Second)
+	ch2 := c.After(2 * time.Second)
+	ch3 := c.After(10 * time.Second)
+	c.Advance(5 * time.Second)
+	for i, ch := range []<-chan time.Time{ch1, ch2} {
+		select {
+		case <-ch:
+		default:
+			t.Fatalf("waiter %d did not fire", i+1)
+		}
+	}
+	select {
+	case <-ch3:
+		t.Fatal("waiter beyond the advanced time fired")
+	default:
+	}
+	if c.PendingWaiters() != 1 {
+		t.Errorf("PendingWaiters = %d, want 1", c.PendingWaiters())
+	}
+}

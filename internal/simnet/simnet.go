@@ -1,0 +1,377 @@
+// Package simnet is an in-process network used to run whole clusters inside a
+// single test or benchmark. It implements the transport interfaces and adds
+// the fault-injection facilities needed to reproduce the paper's failure
+// scenarios: probabilistic packet loss on a node's ingress or egress path
+// (the iptables INPUT/OUTPUT rules of §7), directional blackholes between
+// node pairs, crashes, and optional per-message latency. It can also account
+// sent/received bytes per node to regenerate Table 2.
+package simnet
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/node"
+	"repro/internal/remoting"
+	"repro/internal/simclock"
+	"repro/internal/transport"
+)
+
+// asyncMsg is a queued best-effort message awaiting dispatch to a handler.
+type asyncMsg struct {
+	from node.Addr
+	req  *remoting.Request
+}
+
+// endpointState is the simnet-side representation of one registered process.
+type endpointState struct {
+	handler transport.Handler
+	inbox   chan asyncMsg
+	quit    chan struct{}
+	done    sync.WaitGroup
+}
+
+// Options configure a simulated network.
+type Options struct {
+	// Clock supplies time for latency simulation and bandwidth accounting.
+	Clock simclock.Clock
+	// Seed makes drop decisions reproducible.
+	Seed int64
+	// Latency, if non-zero, is added to every synchronous request/response.
+	Latency time.Duration
+	// AccountBandwidth enables per-node byte accounting (costs one encode per
+	// message, so it is off by default).
+	AccountBandwidth bool
+	// InboxSize bounds each node's best-effort message queue; further
+	// messages are dropped, mimicking UDP behaviour under load.
+	InboxSize int
+}
+
+// Network is a simulated cluster interconnect.
+type Network struct {
+	clock   simclock.Clock
+	latency time.Duration
+	start   time.Time
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	mu          sync.RWMutex
+	endpoints   map[node.Addr]*endpointState
+	crashed     map[node.Addr]bool
+	ingressLoss map[node.Addr]float64
+	egressLoss  map[node.Addr]float64
+	blackholes  map[[2]node.Addr]bool
+
+	accounting bool
+	inboxSize  int
+	recMu      sync.Mutex
+	recorders  map[node.Addr]*metrics.BandwidthRecorder
+}
+
+// New creates a simulated network.
+func New(opts Options) *Network {
+	clk := opts.Clock
+	if clk == nil {
+		clk = simclock.NewReal()
+	}
+	inbox := opts.InboxSize
+	if inbox <= 0 {
+		inbox = 4096
+	}
+	return &Network{
+		clock:       clk,
+		latency:     opts.Latency,
+		start:       clk.Now(),
+		rng:         rand.New(rand.NewSource(opts.Seed)),
+		endpoints:   make(map[node.Addr]*endpointState),
+		crashed:     make(map[node.Addr]bool),
+		ingressLoss: make(map[node.Addr]float64),
+		egressLoss:  make(map[node.Addr]float64),
+		blackholes:  make(map[[2]node.Addr]bool),
+		accounting:  opts.AccountBandwidth,
+		inboxSize:   inbox,
+		recorders:   make(map[node.Addr]*metrics.BandwidthRecorder),
+	}
+}
+
+// Register implements transport.Network. It binds a handler to an address and
+// starts the dispatcher for best-effort messages. Registering clears any
+// previous crash marker for the address (the process came back).
+func (n *Network) Register(addr node.Addr, handler transport.Handler) error {
+	st := &endpointState{
+		handler: handler,
+		inbox:   make(chan asyncMsg, n.inboxSize),
+		quit:    make(chan struct{}),
+	}
+	n.mu.Lock()
+	if old, ok := n.endpoints[addr]; ok {
+		close(old.quit)
+	}
+	n.endpoints[addr] = st
+	delete(n.crashed, addr)
+	n.mu.Unlock()
+
+	st.done.Add(1)
+	go func() {
+		defer st.done.Done()
+		for {
+			select {
+			case <-st.quit:
+				return
+			case m := <-st.inbox:
+				// Best-effort messages get a generous deadline; the handler
+				// decides what to do with stale configuration traffic.
+				ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+				_, _ = st.handler.HandleRequest(ctx, m.from, m.req)
+				cancel()
+			}
+		}
+	}()
+	return nil
+}
+
+// Deregister implements transport.Network: the address becomes unreachable.
+func (n *Network) Deregister(addr node.Addr) {
+	n.mu.Lock()
+	st, ok := n.endpoints[addr]
+	if ok {
+		delete(n.endpoints, addr)
+	}
+	n.mu.Unlock()
+	if ok {
+		close(st.quit)
+	}
+}
+
+// Crash removes a process abruptly: it becomes unreachable and anything it
+// still tries to send is dropped (unlike Deregister, which only stops it from
+// receiving). Experiment code uses this to model process crashes without
+// having to tear down the process object itself.
+func (n *Network) Crash(addr node.Addr) {
+	n.mu.Lock()
+	n.crashed[addr] = true
+	n.mu.Unlock()
+	n.Deregister(addr)
+}
+
+// Client implements transport.Network.
+func (n *Network) Client(addr node.Addr) transport.Client {
+	return &client{net: n, from: addr}
+}
+
+// Registered reports whether an address currently has a handler.
+func (n *Network) Registered(addr node.Addr) bool {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	_, ok := n.endpoints[addr]
+	return ok
+}
+
+// NumRegistered returns the number of live endpoints.
+func (n *Network) NumRegistered() int {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return len(n.endpoints)
+}
+
+// --- fault injection -------------------------------------------------------
+
+// SetIngressLoss drops the given fraction [0,1] of packets arriving at addr.
+func (n *Network) SetIngressLoss(addr node.Addr, probability float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if probability <= 0 {
+		delete(n.ingressLoss, addr)
+		return
+	}
+	n.ingressLoss[addr] = probability
+}
+
+// SetEgressLoss drops the given fraction [0,1] of packets leaving addr.
+func (n *Network) SetEgressLoss(addr node.Addr, probability float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if probability <= 0 {
+		delete(n.egressLoss, addr)
+		return
+	}
+	n.egressLoss[addr] = probability
+}
+
+// BlockDirectional drops every packet flowing from src to dst (one direction
+// only), modelling the one-way reachability problems of §7.
+func (n *Network) BlockDirectional(src, dst node.Addr) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.blackholes[[2]node.Addr{src, dst}] = true
+}
+
+// UnblockDirectional removes a directional blackhole.
+func (n *Network) UnblockDirectional(src, dst node.Addr) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.blackholes, [2]node.Addr{src, dst})
+}
+
+// BlockPair drops packets in both directions between a and b (a full packet
+// blackhole, as in the Figure 12 experiment).
+func (n *Network) BlockPair(a, b node.Addr) {
+	n.BlockDirectional(a, b)
+	n.BlockDirectional(b, a)
+}
+
+// UnblockPair removes a bidirectional blackhole.
+func (n *Network) UnblockPair(a, b node.Addr) {
+	n.UnblockDirectional(a, b)
+	n.UnblockDirectional(b, a)
+}
+
+// ClearFaults removes every loss and blackhole rule.
+func (n *Network) ClearFaults() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.ingressLoss = make(map[node.Addr]float64)
+	n.egressLoss = make(map[node.Addr]float64)
+	n.blackholes = make(map[[2]node.Addr]bool)
+}
+
+// --- bandwidth accounting ---------------------------------------------------
+
+func (n *Network) recorder(addr node.Addr) *metrics.BandwidthRecorder {
+	n.recMu.Lock()
+	defer n.recMu.Unlock()
+	r, ok := n.recorders[addr]
+	if !ok {
+		r = metrics.NewBandwidthRecorder(n.start, time.Second)
+		n.recorders[addr] = r
+	}
+	return r
+}
+
+// Bandwidth returns the recorder for addr (creating it if needed). Only
+// meaningful when the network was created with AccountBandwidth.
+func (n *Network) Bandwidth(addr node.Addr) *metrics.BandwidthRecorder {
+	return n.recorder(addr)
+}
+
+func (n *Network) account(from, to node.Addr, req *remoting.Request, resp *remoting.Response) {
+	if !n.accounting {
+		return
+	}
+	now := n.clock.Now()
+	if req != nil {
+		size := remoting.RequestSize(req)
+		n.recorder(from).RecordSent(now, size)
+		n.recorder(to).RecordReceived(now, size)
+	}
+	if resp != nil {
+		size := remoting.ResponseSize(resp)
+		n.recorder(to).RecordSent(now, size)
+		n.recorder(from).RecordReceived(now, size)
+	}
+}
+
+// --- delivery ---------------------------------------------------------------
+
+func (n *Network) chance(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	n.rngMu.Lock()
+	defer n.rngMu.Unlock()
+	return n.rng.Float64() < p
+}
+
+// allowed checks the fault rules for a packet from src to dst.
+func (n *Network) allowed(src, dst node.Addr) bool {
+	n.mu.RLock()
+	egress := n.egressLoss[src]
+	ingress := n.ingressLoss[dst]
+	blocked := n.blackholes[[2]node.Addr{src, dst}]
+	crashed := n.crashed[src]
+	n.mu.RUnlock()
+	if blocked || crashed {
+		return false
+	}
+	if n.chance(egress) {
+		return false
+	}
+	if n.chance(ingress) {
+		return false
+	}
+	return true
+}
+
+func (n *Network) lookup(addr node.Addr) (*endpointState, bool) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	st, ok := n.endpoints[addr]
+	return st, ok
+}
+
+// client implements transport.Client for one source address.
+type client struct {
+	net  *Network
+	from node.Addr
+}
+
+// Send implements transport.Client. Both the request and the response path
+// are subject to fault rules, so one-way partitions affect RPCs correctly:
+// a node whose ingress is blocked can still send requests but never hears
+// responses.
+func (c *client) Send(ctx context.Context, to node.Addr, req *remoting.Request) (*remoting.Response, error) {
+	n := c.net
+	if n.latency > 0 {
+		n.clock.Sleep(n.latency)
+	}
+	if !n.allowed(c.from, to) {
+		return nil, transport.ErrUnreachable
+	}
+	st, ok := n.lookup(to)
+	if !ok {
+		return nil, transport.ErrUnreachable
+	}
+	resp, err := st.handler.HandleRequest(ctx, c.from, req)
+	if err != nil {
+		return nil, err
+	}
+	// Response travels dst -> src and is subject to the reverse-path rules.
+	if !n.allowed(to, c.from) {
+		return nil, transport.ErrTimeout
+	}
+	n.account(c.from, to, req, resp)
+	if n.latency > 0 {
+		n.clock.Sleep(n.latency)
+	}
+	return resp, nil
+}
+
+// SendBestEffort implements transport.Client: the message is queued on the
+// destination's inbox if the fault rules allow it, and silently dropped
+// otherwise (or if the inbox is full).
+func (c *client) SendBestEffort(to node.Addr, req *remoting.Request) {
+	n := c.net
+	if !n.allowed(c.from, to) {
+		return
+	}
+	st, ok := n.lookup(to)
+	if !ok {
+		return
+	}
+	n.account(c.from, to, req, nil)
+	select {
+	case st.inbox <- asyncMsg{from: c.from, req: req}:
+	default:
+		// Queue overflow: drop, like UDP under load.
+	}
+}
+
+var _ transport.Network = (*Network)(nil)
+var _ transport.Client = (*client)(nil)

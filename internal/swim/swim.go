@@ -1,0 +1,593 @@
+// Package swim is a reimplementation of the SWIM-style gossip membership
+// protocol used by HashiCorp Memberlist (and, through it, Serf and Consul).
+// The paper evaluates Rapid against Memberlist in every experiment, so this
+// package provides the comparison baseline with the mechanics that matter for
+// membership behaviour:
+//
+//   - Periodic random-member probing with indirect ping-req probes.
+//   - Suspicion with a timeout and incarnation-numbered refutations.
+//   - Piggybacked gossip dissemination of alive/suspect/dead updates.
+//   - Periodic push-pull anti-entropy state synchronisation (Memberlist's
+//     30-second full state sync), which dominates bootstrap convergence.
+//
+// Unlike Rapid, membership views are weakly consistent: every node applies
+// updates independently and there is no agreement step.
+package swim
+
+import (
+	"bytes"
+	"context"
+	"encoding/gob"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/node"
+	"repro/internal/remoting"
+	"repro/internal/simclock"
+	"repro/internal/transport"
+)
+
+// Status is a member's lifecycle state in the SWIM protocol.
+type Status int
+
+const (
+	// Alive means the member is believed healthy.
+	Alive Status = iota
+	// Suspect means a probe failed and the member is awaiting refutation.
+	Suspect
+	// Dead means the suspicion timed out (or a dead update was received).
+	Dead
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case Alive:
+		return "alive"
+	case Suspect:
+		return "suspect"
+	default:
+		return "dead"
+	}
+}
+
+// Update is a gossiped membership event.
+type Update struct {
+	Addr        node.Addr
+	Status      Status
+	Incarnation uint64
+}
+
+// message is the SWIM wire payload carried inside remoting.CustomMessage.
+type message struct {
+	Type string // "ping", "ping-req", "ack", "push-pull"
+	From node.Addr
+	// Target is the subject of an indirect probe.
+	Target node.Addr
+	// Updates piggyback recent membership events.
+	Updates []Update
+	// State carries the full member table for push-pull syncs.
+	State []Update
+}
+
+const messageKind = "swim"
+
+func encodeMessage(m *message) []byte {
+	var buf bytes.Buffer
+	_ = gob.NewEncoder(&buf).Encode(m)
+	return buf.Bytes()
+}
+
+func decodeMessage(data []byte) (*message, bool) {
+	var m message
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&m); err != nil {
+		return nil, false
+	}
+	return &m, true
+}
+
+// Options tune a SWIM node. Durations are scaled down in experiments.
+type Options struct {
+	// ProbeInterval is the protocol period.
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds the direct probe.
+	ProbeTimeout time.Duration
+	// IndirectProbes is the number of ping-req helpers per protocol period.
+	IndirectProbes int
+	// SuspicionTimeout is how long a suspect has to refute before being
+	// declared dead.
+	SuspicionTimeout time.Duration
+	// DeadReapTimeout is how long a dead entry lingers before removal.
+	DeadReapTimeout time.Duration
+	// PushPullInterval is the anti-entropy full state sync period
+	// (30 seconds in Memberlist's LAN configuration).
+	PushPullInterval time.Duration
+	// GossipPiggyback is the maximum number of updates attached per message.
+	GossipPiggyback int
+	// RetransmitMult controls how many times each update is retransmitted.
+	RetransmitMult int
+	// Clock supplies time.
+	Clock simclock.Clock
+	// Seed makes member selection deterministic in tests.
+	Seed int64
+}
+
+// DefaultOptions approximates Memberlist's DefaultLANConfig.
+func DefaultOptions() Options {
+	return Options{
+		ProbeInterval:    time.Second,
+		ProbeTimeout:     500 * time.Millisecond,
+		IndirectProbes:   3,
+		SuspicionTimeout: 5 * time.Second,
+		DeadReapTimeout:  30 * time.Second,
+		PushPullInterval: 30 * time.Second,
+		GossipPiggyback:  8,
+		RetransmitMult:   4,
+		Clock:            simclock.NewReal(),
+	}
+}
+
+// Scaled divides every duration by factor for compressed-time experiments.
+func (o Options) Scaled(factor float64) Options {
+	if factor <= 0 {
+		return o
+	}
+	scale := func(d time.Duration) time.Duration {
+		s := time.Duration(float64(d) / factor)
+		if s < time.Millisecond {
+			s = time.Millisecond
+		}
+		return s
+	}
+	o.ProbeInterval = scale(o.ProbeInterval)
+	o.ProbeTimeout = scale(o.ProbeTimeout)
+	o.SuspicionTimeout = scale(o.SuspicionTimeout)
+	o.DeadReapTimeout = scale(o.DeadReapTimeout)
+	o.PushPullInterval = scale(o.PushPullInterval)
+	return o
+}
+
+// memberState is one entry of the local member table.
+type memberState struct {
+	addr        node.Addr
+	status      Status
+	incarnation uint64
+	since       time.Time
+}
+
+// queuedUpdate is a gossip update waiting to be piggybacked.
+type queuedUpdate struct {
+	update    Update
+	transmits int
+}
+
+// Node is one SWIM protocol participant.
+type Node struct {
+	opts   Options
+	addr   node.Addr
+	net    transport.Network
+	client transport.Client
+	clock  simclock.Clock
+
+	mu          sync.Mutex
+	members     map[node.Addr]*memberState
+	incarnation uint64
+	queue       []*queuedUpdate
+	rng         *rand.Rand
+	stopped     bool
+
+	stopCh chan struct{}
+	wg     sync.WaitGroup
+}
+
+// Start creates a SWIM node and, if seeds are provided, joins through them by
+// push-pull syncing their state.
+func Start(addr node.Addr, seeds []node.Addr, opts Options, net transport.Network) (*Node, error) {
+	if opts.Clock == nil {
+		opts.Clock = simclock.NewReal()
+	}
+	if opts.ProbeInterval <= 0 {
+		opts = DefaultOptions()
+	}
+	n := &Node{
+		opts:    opts,
+		addr:    addr,
+		net:     net,
+		client:  net.Client(addr),
+		clock:   opts.Clock,
+		members: make(map[node.Addr]*memberState),
+		rng:     rand.New(rand.NewSource(opts.Seed ^ int64(len(addr)))),
+		stopCh:  make(chan struct{}),
+	}
+	n.members[addr] = &memberState{addr: addr, status: Alive, since: n.clock.Now()}
+	if err := net.Register(addr, n); err != nil {
+		return nil, err
+	}
+	for _, seed := range seeds {
+		if seed == addr {
+			continue
+		}
+		n.pushPullWith(seed)
+	}
+	n.wg.Add(3)
+	go n.probeLoop()
+	go n.pushPullLoop()
+	go n.reapLoop()
+	return n, nil
+}
+
+// Stop halts the node's loops and deregisters it.
+func (n *Node) Stop() {
+	n.mu.Lock()
+	if n.stopped {
+		n.mu.Unlock()
+		return
+	}
+	n.stopped = true
+	n.mu.Unlock()
+	close(n.stopCh)
+	n.wg.Wait()
+	n.net.Deregister(n.addr)
+}
+
+// Addr returns this node's address.
+func (n *Node) Addr() node.Addr { return n.addr }
+
+// NumAlive returns the number of members believed alive (including self).
+func (n *Node) NumAlive() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	count := 0
+	for _, m := range n.members {
+		if m.status == Alive || m.status == Suspect {
+			count++
+		}
+	}
+	return count
+}
+
+// AliveMembers returns the addresses believed alive, sorted.
+func (n *Node) AliveMembers() []node.Addr {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	var out []node.Addr
+	for _, m := range n.members {
+		if m.status == Alive || m.status == Suspect {
+			out = append(out, m.addr)
+		}
+	}
+	node.SortAddrs(out)
+	return out
+}
+
+// --- protocol loops ----------------------------------------------------------
+
+func (n *Node) probeLoop() {
+	defer n.wg.Done()
+	for {
+		select {
+		case <-n.stopCh:
+			return
+		case <-n.clock.After(n.opts.ProbeInterval):
+		}
+		target, ok := n.pickProbeTarget()
+		if !ok {
+			continue
+		}
+		if n.probe(target) {
+			n.markAlive(target, n.incarnationOf(target))
+			continue
+		}
+		// Indirect probes through up to IndirectProbes helpers.
+		if n.indirectProbe(target) {
+			n.markAlive(target, n.incarnationOf(target))
+			continue
+		}
+		n.markSuspect(target, n.incarnationOf(target))
+	}
+}
+
+func (n *Node) pushPullLoop() {
+	defer n.wg.Done()
+	for {
+		select {
+		case <-n.stopCh:
+			return
+		case <-n.clock.After(n.opts.PushPullInterval):
+		}
+		if target, ok := n.pickProbeTarget(); ok {
+			n.pushPullWith(target)
+		}
+	}
+}
+
+func (n *Node) reapLoop() {
+	defer n.wg.Done()
+	tick := n.opts.ProbeInterval
+	for {
+		select {
+		case <-n.stopCh:
+			return
+		case <-n.clock.After(tick):
+		}
+		now := n.clock.Now()
+		n.mu.Lock()
+		for addr, m := range n.members {
+			switch m.status {
+			case Suspect:
+				if now.Sub(m.since) >= n.opts.SuspicionTimeout {
+					m.status = Dead
+					m.since = now
+					n.enqueueLocked(Update{Addr: addr, Status: Dead, Incarnation: m.incarnation})
+				}
+			case Dead:
+				if now.Sub(m.since) >= n.opts.DeadReapTimeout {
+					delete(n.members, addr)
+				}
+			}
+		}
+		n.mu.Unlock()
+	}
+}
+
+// --- probing -----------------------------------------------------------------
+
+func (n *Node) pickProbeTarget() (node.Addr, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	var candidates []node.Addr
+	for addr, m := range n.members {
+		if addr != n.addr && m.status != Dead {
+			candidates = append(candidates, addr)
+		}
+	}
+	if len(candidates) == 0 {
+		return "", false
+	}
+	node.SortAddrs(candidates)
+	return candidates[n.rng.Intn(len(candidates))], true
+}
+
+func (n *Node) probe(target node.Addr) bool {
+	ctx, cancel := context.WithTimeout(context.Background(), n.opts.ProbeTimeout)
+	defer cancel()
+	resp, err := n.client.Send(ctx, target, n.wrap(&message{Type: "ping", From: n.addr}))
+	if err != nil {
+		return false
+	}
+	n.absorbResponse(resp)
+	return true
+}
+
+func (n *Node) indirectProbe(target node.Addr) bool {
+	helpers := n.pickHelpers(target, n.opts.IndirectProbes)
+	for _, h := range helpers {
+		ctx, cancel := context.WithTimeout(context.Background(), n.opts.ProbeTimeout)
+		resp, err := n.client.Send(ctx, h, n.wrap(&message{Type: "ping-req", From: n.addr, Target: target}))
+		cancel()
+		if err != nil {
+			continue
+		}
+		if m, ok := unwrap(resp); ok && m.Type == "ack" {
+			n.absorbUpdates(m.Updates)
+			return true
+		}
+	}
+	return false
+}
+
+func (n *Node) pickHelpers(target node.Addr, k int) []node.Addr {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	var candidates []node.Addr
+	for addr, m := range n.members {
+		if addr != n.addr && addr != target && m.status == Alive {
+			candidates = append(candidates, addr)
+		}
+	}
+	node.SortAddrs(candidates)
+	n.rng.Shuffle(len(candidates), func(i, j int) { candidates[i], candidates[j] = candidates[j], candidates[i] })
+	if len(candidates) > k {
+		candidates = candidates[:k]
+	}
+	return candidates
+}
+
+// pushPullWith performs a full state exchange with the target.
+func (n *Node) pushPullWith(target node.Addr) {
+	ctx, cancel := context.WithTimeout(context.Background(), n.opts.ProbeTimeout*4)
+	defer cancel()
+	resp, err := n.client.Send(ctx, target, n.wrap(&message{Type: "push-pull", From: n.addr, State: n.snapshot()}))
+	if err != nil {
+		return
+	}
+	if m, ok := unwrap(resp); ok {
+		n.absorbUpdates(m.State)
+	}
+}
+
+// --- state management --------------------------------------------------------
+
+func (n *Node) snapshot() []Update {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]Update, 0, len(n.members))
+	for _, m := range n.members {
+		out = append(out, Update{Addr: m.addr, Status: m.status, Incarnation: m.incarnation})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out
+}
+
+func (n *Node) incarnationOf(addr node.Addr) uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if m, ok := n.members[addr]; ok {
+		return m.incarnation
+	}
+	return 0
+}
+
+func (n *Node) markAlive(addr node.Addr, incarnation uint64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.applyLocked(Update{Addr: addr, Status: Alive, Incarnation: incarnation})
+}
+
+func (n *Node) markSuspect(addr node.Addr, incarnation uint64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.applyLocked(Update{Addr: addr, Status: Suspect, Incarnation: incarnation})
+}
+
+// applyLocked merges one update using SWIM's precedence rules and queues it
+// for further gossip if it changed local state.
+func (n *Node) applyLocked(u Update) {
+	now := n.clock.Now()
+	// Refutation: if we are being suspected or declared dead, bump our
+	// incarnation and gossip that we are alive.
+	if u.Addr == n.addr && u.Status != Alive {
+		n.incarnation = maxUint64(n.incarnation, u.Incarnation) + 1
+		if self, ok := n.members[n.addr]; ok {
+			self.incarnation = n.incarnation
+			self.status = Alive
+			self.since = now
+		}
+		n.enqueueLocked(Update{Addr: n.addr, Status: Alive, Incarnation: n.incarnation})
+		return
+	}
+	m, ok := n.members[u.Addr]
+	if !ok {
+		if u.Status == Dead {
+			return // Do not resurrect bookkeeping for unknown dead members.
+		}
+		n.members[u.Addr] = &memberState{addr: u.Addr, status: u.Status, incarnation: u.Incarnation, since: now}
+		n.enqueueLocked(u)
+		return
+	}
+	changed := false
+	switch {
+	case u.Incarnation > m.incarnation:
+		changed = m.status != u.Status || m.incarnation != u.Incarnation
+		m.status = u.Status
+		m.incarnation = u.Incarnation
+	case u.Incarnation == m.incarnation:
+		// Same incarnation: suspect overrides alive, dead overrides both.
+		if u.Status > m.status {
+			m.status = u.Status
+			changed = true
+		}
+	default:
+		// Stale update.
+	}
+	if changed {
+		m.since = now
+		n.enqueueLocked(Update{Addr: u.Addr, Status: m.status, Incarnation: m.incarnation})
+	}
+}
+
+func (n *Node) absorbUpdates(updates []Update) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, u := range updates {
+		n.applyLocked(u)
+	}
+}
+
+func (n *Node) absorbResponse(resp *remoting.Response) {
+	if m, ok := unwrap(resp); ok {
+		n.absorbUpdates(m.Updates)
+	}
+}
+
+// enqueueLocked queues an update for piggybacked retransmission.
+func (n *Node) enqueueLocked(u Update) {
+	// Replace any queued update about the same member.
+	for i, q := range n.queue {
+		if q.update.Addr == u.Addr {
+			n.queue[i] = &queuedUpdate{update: u}
+			return
+		}
+	}
+	n.queue = append(n.queue, &queuedUpdate{update: u})
+}
+
+// takePiggybackLocked returns up to GossipPiggyback updates and retires the
+// ones that have been transmitted enough times.
+func (n *Node) takePiggybackLocked() []Update {
+	limit := n.opts.GossipPiggyback
+	out := make([]Update, 0, limit)
+	kept := n.queue[:0]
+	for _, q := range n.queue {
+		if len(out) < limit {
+			out = append(out, q.update)
+			q.transmits++
+		}
+		if q.transmits < n.opts.RetransmitMult {
+			kept = append(kept, q)
+		}
+	}
+	n.queue = kept
+	return out
+}
+
+func (n *Node) wrap(m *message) *remoting.Request {
+	n.mu.Lock()
+	m.Updates = append(m.Updates, n.takePiggybackLocked()...)
+	n.mu.Unlock()
+	return &remoting.Request{Custom: &remoting.CustomMessage{Kind: messageKind, Data: encodeMessage(m)}}
+}
+
+func unwrap(resp *remoting.Response) (*message, bool) {
+	if resp == nil || resp.Custom == nil || resp.Custom.Kind != messageKind {
+		return nil, false
+	}
+	return decodeMessage(resp.Custom.Data)
+}
+
+// HandleRequest implements transport.Handler.
+func (n *Node) HandleRequest(ctx context.Context, from node.Addr, req *remoting.Request) (*remoting.Response, error) {
+	if req == nil || req.Custom == nil || req.Custom.Kind != messageKind {
+		return remoting.AckResponse(), nil
+	}
+	m, ok := decodeMessage(req.Custom.Data)
+	if !ok {
+		return remoting.AckResponse(), nil
+	}
+	n.absorbUpdates(m.Updates)
+	switch m.Type {
+	case "ping":
+		n.markAlive(m.From, 0)
+		return n.reply(&message{Type: "ack", From: n.addr}), nil
+	case "ping-req":
+		// Probe the target on behalf of the requester.
+		if n.probe(m.Target) {
+			return n.reply(&message{Type: "ack", From: n.addr}), nil
+		}
+		return n.reply(&message{Type: "nack", From: n.addr}), nil
+	case "push-pull":
+		n.absorbUpdates(m.State)
+		n.markAlive(m.From, 0)
+		return n.reply(&message{Type: "push-pull", From: n.addr, State: n.snapshot()}), nil
+	default:
+		return remoting.AckResponse(), nil
+	}
+}
+
+func (n *Node) reply(m *message) *remoting.Response {
+	n.mu.Lock()
+	m.Updates = append(m.Updates, n.takePiggybackLocked()...)
+	n.mu.Unlock()
+	return &remoting.Response{Custom: &remoting.CustomMessage{Kind: messageKind, Data: encodeMessage(m)}}
+}
+
+func maxUint64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+var _ transport.Handler = (*Node)(nil)

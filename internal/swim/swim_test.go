@@ -1,0 +1,239 @@
+package swim
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/node"
+	"repro/internal/simnet"
+)
+
+func testOptions() Options {
+	return DefaultOptions().Scaled(50)
+}
+
+func addr(i int) node.Addr { return node.Addr(fmt.Sprintf("swim-%02d:1", i)) }
+
+func waitUntil(t *testing.T, timeout time.Duration, cond func() bool) bool {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return true
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return cond()
+}
+
+func startCluster(t *testing.T, net *simnet.Network, n int) []*Node {
+	t.Helper()
+	var nodes []*Node
+	seed, err := Start(addr(0), nil, testOptions(), net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes = append(nodes, seed)
+	for i := 1; i < n; i++ {
+		nd, err := Start(addr(i), []node.Addr{addr(0)}, testOptions(), net)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes = append(nodes, nd)
+	}
+	return nodes
+}
+
+func stopAll(nodes []*Node) {
+	for _, n := range nodes {
+		n.Stop()
+	}
+}
+
+func TestMessageCodecRoundTrip(t *testing.T) {
+	m := &message{Type: "push-pull", From: "a:1", State: []Update{
+		{Addr: "a:1", Status: Alive, Incarnation: 3},
+		{Addr: "b:1", Status: Suspect, Incarnation: 1},
+	}}
+	got, ok := decodeMessage(encodeMessage(m))
+	if !ok {
+		t.Fatal("decode failed")
+	}
+	if got.Type != "push-pull" || len(got.State) != 2 || got.State[1].Status != Suspect {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	if _, ok := decodeMessage([]byte("garbage")); ok {
+		t.Fatal("garbage should not decode")
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	if Alive.String() != "alive" || Suspect.String() != "suspect" || Dead.String() != "dead" {
+		t.Fatal("status names wrong")
+	}
+}
+
+func TestClusterConvergesThroughGossipAndPushPull(t *testing.T) {
+	net := simnet.New(simnet.Options{Seed: 1})
+	const n = 8
+	nodes := startCluster(t, net, n)
+	defer stopAll(nodes)
+	if !waitUntil(t, 30*time.Second, func() bool {
+		for _, nd := range nodes {
+			if nd.NumAlive() != n {
+				return false
+			}
+		}
+		return true
+	}) {
+		counts := []int{}
+		for _, nd := range nodes {
+			counts = append(counts, nd.NumAlive())
+		}
+		t.Fatalf("SWIM cluster did not converge: %v", counts)
+	}
+}
+
+func TestCrashedNodeEventuallyRemoved(t *testing.T) {
+	net := simnet.New(simnet.Options{Seed: 2})
+	const n = 6
+	nodes := startCluster(t, net, n)
+	defer stopAll(nodes)
+	if !waitUntil(t, 30*time.Second, func() bool {
+		for _, nd := range nodes {
+			if nd.NumAlive() != n {
+				return false
+			}
+		}
+		return true
+	}) {
+		t.Fatal("cluster did not form")
+	}
+	net.Crash(nodes[n-1].Addr())
+	survivors := nodes[:n-1]
+	if !waitUntil(t, 30*time.Second, func() bool {
+		for _, nd := range survivors {
+			if nd.NumAlive() != n-1 {
+				return false
+			}
+		}
+		return true
+	}) {
+		counts := []int{}
+		for _, nd := range survivors {
+			counts = append(counts, nd.NumAlive())
+		}
+		t.Fatalf("crashed node was not removed: %v", counts)
+	}
+}
+
+func TestSuspectRefutation(t *testing.T) {
+	// A node that learns it is suspected must bump its incarnation and
+	// re-assert itself as alive (the SWIM refutation rule).
+	net := simnet.New(simnet.Options{Seed: 3})
+	nd, err := Start(addr(0), nil, testOptions(), net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nd.Stop()
+	nd.absorbUpdates([]Update{{Addr: addr(0), Status: Suspect, Incarnation: 0}})
+	nd.mu.Lock()
+	self := nd.members[addr(0)]
+	inc := nd.incarnation
+	nd.mu.Unlock()
+	if self.status != Alive {
+		t.Fatal("node must refute its own suspicion")
+	}
+	if inc == 0 {
+		t.Fatal("refutation must bump the incarnation number")
+	}
+}
+
+func TestStaleUpdateIgnored(t *testing.T) {
+	net := simnet.New(simnet.Options{Seed: 4})
+	nd, err := Start(addr(0), nil, testOptions(), net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nd.Stop()
+	nd.absorbUpdates([]Update{{Addr: "x:1", Status: Alive, Incarnation: 5}})
+	nd.absorbUpdates([]Update{{Addr: "x:1", Status: Suspect, Incarnation: 2}}) // stale
+	nd.mu.Lock()
+	st := nd.members["x:1"].status
+	nd.mu.Unlock()
+	if st != Alive {
+		t.Fatal("a stale lower-incarnation update must not override newer state")
+	}
+}
+
+func TestSuspectOverridesAliveAtSameIncarnation(t *testing.T) {
+	net := simnet.New(simnet.Options{Seed: 5})
+	nd, err := Start(addr(0), nil, testOptions(), net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nd.Stop()
+	nd.absorbUpdates([]Update{{Addr: "x:1", Status: Alive, Incarnation: 3}})
+	nd.absorbUpdates([]Update{{Addr: "x:1", Status: Suspect, Incarnation: 3}})
+	nd.mu.Lock()
+	st := nd.members["x:1"].status
+	nd.mu.Unlock()
+	if st != Suspect {
+		t.Fatal("suspect must override alive at the same incarnation")
+	}
+}
+
+func TestPiggybackQueueRetransmitsAndRetires(t *testing.T) {
+	net := simnet.New(simnet.Options{Seed: 6})
+	opts := testOptions()
+	opts.GossipPiggyback = 2
+	opts.RetransmitMult = 2
+	nd, err := Start(addr(0), nil, opts, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nd.Stop()
+	nd.mu.Lock()
+	nd.queue = nil
+	nd.enqueueLocked(Update{Addr: "a:1", Status: Alive})
+	nd.enqueueLocked(Update{Addr: "b:1", Status: Alive})
+	nd.enqueueLocked(Update{Addr: "c:1", Status: Alive})
+	first := nd.takePiggybackLocked()
+	second := nd.takePiggybackLocked()
+	third := nd.takePiggybackLocked()
+	fourth := nd.takePiggybackLocked()
+	nd.mu.Unlock()
+	if len(first) != 2 || len(second) != 2 {
+		t.Fatalf("piggyback limit not respected: %d, %d", len(first), len(second))
+	}
+	// After enough transmissions the queue drains.
+	if len(third)+len(fourth) == 0 {
+		t.Log("queue drained quickly, acceptable")
+	}
+	nd.mu.Lock()
+	remaining := len(nd.queue)
+	nd.mu.Unlock()
+	if remaining != 0 {
+		t.Fatalf("queue should eventually drain, %d entries left", remaining)
+	}
+}
+
+func TestEnqueueReplacesSameMember(t *testing.T) {
+	net := simnet.New(simnet.Options{Seed: 7})
+	nd, err := Start(addr(0), nil, testOptions(), net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nd.Stop()
+	nd.mu.Lock()
+	nd.queue = nil
+	nd.enqueueLocked(Update{Addr: "a:1", Status: Alive, Incarnation: 1})
+	nd.enqueueLocked(Update{Addr: "a:1", Status: Suspect, Incarnation: 1})
+	qlen := len(nd.queue)
+	status := nd.queue[0].update.Status
+	nd.mu.Unlock()
+	if qlen != 1 || status != Suspect {
+		t.Fatalf("queue should hold one (latest) update per member: len=%d status=%v", qlen, status)
+	}
+}

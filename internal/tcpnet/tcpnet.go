@@ -1,0 +1,231 @@
+// Package tcpnet is the real-network transport: length-prefixed gob-encoded
+// requests and responses over TCP. It is used by cmd/rapid-node to run a
+// membership agent as an ordinary process; the simulated network (package
+// simnet) is used everywhere else in tests and experiments.
+package tcpnet
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/node"
+	"repro/internal/remoting"
+	"repro/internal/transport"
+)
+
+// maxFrame bounds a single message to protect against corrupted prefixes.
+const maxFrame = 16 << 20
+
+// Options configure the TCP network.
+type Options struct {
+	// DialTimeout bounds connection establishment. Defaults to 1s.
+	DialTimeout time.Duration
+	// RequestTimeout bounds a whole request/response exchange. Defaults to 3s.
+	RequestTimeout time.Duration
+}
+
+// Network implements transport.Network over TCP. Each Register call starts a
+// listener on the registered address; each Client dials per request (simple
+// and adequate for membership traffic volumes).
+type Network struct {
+	opts Options
+
+	mu        sync.Mutex
+	listeners map[node.Addr]*listenerState
+}
+
+type listenerState struct {
+	ln      net.Listener
+	handler transport.Handler
+	quit    chan struct{}
+	wg      sync.WaitGroup
+}
+
+// New creates a TCP transport network.
+func New(opts Options) *Network {
+	if opts.DialTimeout <= 0 {
+		opts.DialTimeout = time.Second
+	}
+	if opts.RequestTimeout <= 0 {
+		opts.RequestTimeout = 3 * time.Second
+	}
+	return &Network{opts: opts, listeners: make(map[node.Addr]*listenerState)}
+}
+
+// Register implements transport.Network: it listens on addr and serves
+// inbound requests with handler until Deregister is called.
+func (n *Network) Register(addr node.Addr, handler transport.Handler) error {
+	ln, err := net.Listen("tcp", string(addr))
+	if err != nil {
+		return fmt.Errorf("tcpnet: listen %s: %w", addr, err)
+	}
+	st := &listenerState{ln: ln, handler: handler, quit: make(chan struct{})}
+	n.mu.Lock()
+	n.listeners[addr] = st
+	n.mu.Unlock()
+
+	st.wg.Add(1)
+	go func() {
+		defer st.wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				select {
+				case <-st.quit:
+					return
+				default:
+				}
+				continue
+			}
+			st.wg.Add(1)
+			go func() {
+				defer st.wg.Done()
+				st.serveConn(conn, n.opts.RequestTimeout)
+			}()
+		}
+	}()
+	return nil
+}
+
+// Deregister stops the listener bound to addr.
+func (n *Network) Deregister(addr node.Addr) {
+	n.mu.Lock()
+	st, ok := n.listeners[addr]
+	if ok {
+		delete(n.listeners, addr)
+	}
+	n.mu.Unlock()
+	if !ok {
+		return
+	}
+	close(st.quit)
+	st.ln.Close()
+	st.wg.Wait()
+}
+
+// Client implements transport.Network.
+func (n *Network) Client(addr node.Addr) transport.Client {
+	return &client{net: n, from: addr}
+}
+
+// ListenAddr returns the actual address a listener is bound to. Useful when
+// registering with port 0 in tests.
+func (n *Network) ListenAddr(addr node.Addr) (node.Addr, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	st, ok := n.listeners[addr]
+	if !ok {
+		return "", false
+	}
+	return node.Addr(st.ln.Addr().String()), true
+}
+
+func (st *listenerState) serveConn(conn net.Conn, timeout time.Duration) {
+	defer conn.Close()
+	for {
+		conn.SetReadDeadline(time.Now().Add(30 * time.Second))
+		frame, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		req, err := remoting.DecodeRequest(frame)
+		if err != nil {
+			return
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), timeout)
+		from := node.Addr(conn.RemoteAddr().String())
+		resp, err := st.handler.HandleRequest(ctx, from, req)
+		cancel()
+		if err != nil || resp == nil {
+			resp = &remoting.Response{}
+		}
+		data, err := remoting.EncodeResponse(resp)
+		if err != nil {
+			return
+		}
+		conn.SetWriteDeadline(time.Now().Add(timeout))
+		if err := writeFrame(conn, data); err != nil {
+			return
+		}
+	}
+}
+
+type client struct {
+	net  *Network
+	from node.Addr
+}
+
+// Send implements transport.Client: dial, write one frame, read one frame.
+func (c *client) Send(ctx context.Context, to node.Addr, req *remoting.Request) (*remoting.Response, error) {
+	d := net.Dialer{Timeout: c.net.opts.DialTimeout}
+	conn, err := d.DialContext(ctx, "tcp", string(to))
+	if err != nil {
+		return nil, transport.ErrUnreachable
+	}
+	defer conn.Close()
+
+	deadline, ok := ctx.Deadline()
+	if !ok {
+		deadline = time.Now().Add(c.net.opts.RequestTimeout)
+	}
+	conn.SetDeadline(deadline)
+
+	data, err := remoting.EncodeRequest(req)
+	if err != nil {
+		return nil, err
+	}
+	if err := writeFrame(conn, data); err != nil {
+		return nil, transport.ErrUnreachable
+	}
+	frame, err := readFrame(conn)
+	if err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil, transport.ErrUnreachable
+		}
+		return nil, transport.ErrTimeout
+	}
+	return remoting.DecodeResponse(frame)
+}
+
+// SendBestEffort implements transport.Client.
+func (c *client) SendBestEffort(to node.Addr, req *remoting.Request) {
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), c.net.opts.RequestTimeout)
+		defer cancel()
+		_, _ = c.Send(ctx, to, req)
+	}()
+}
+
+func writeFrame(w io.Writer, data []byte) error {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(data)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(data)
+	return err
+}
+
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	size := binary.BigEndian.Uint32(hdr[:])
+	if size > maxFrame {
+		return nil, fmt.Errorf("tcpnet: frame of %d bytes exceeds limit", size)
+	}
+	buf := make([]byte, size)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+var _ transport.Network = (*Network)(nil)

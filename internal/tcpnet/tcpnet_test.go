@@ -1,0 +1,126 @@
+package tcpnet
+
+import (
+	"bytes"
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/node"
+	"repro/internal/remoting"
+)
+
+type countingHandler struct {
+	mu     sync.Mutex
+	probes int
+}
+
+func (h *countingHandler) HandleRequest(_ context.Context, _ node.Addr, req *remoting.Request) (*remoting.Response, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if req.Probe != nil {
+		h.probes++
+		return &remoting.Response{Probe: &remoting.ProbeResponse{Status: remoting.NodeOK}}, nil
+	}
+	return remoting.AckResponse(), nil
+}
+
+func (h *countingHandler) count() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.probes
+}
+
+func TestTCPRequestResponse(t *testing.T) {
+	n := New(Options{})
+	h := &countingHandler{}
+	if err := n.Register("127.0.0.1:0", h); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	defer n.Deregister("127.0.0.1:0")
+	addr, ok := n.ListenAddr("127.0.0.1:0")
+	if !ok {
+		t.Fatal("ListenAddr not found")
+	}
+
+	resp, err := n.Client("client").Send(context.Background(), addr,
+		&remoting.Request{Probe: &remoting.ProbeRequest{Sender: "client"}})
+	if err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	if resp.Probe == nil || resp.Probe.Status != remoting.NodeOK {
+		t.Fatalf("unexpected response: %+v", resp)
+	}
+	if h.count() != 1 {
+		t.Fatalf("handler saw %d probes, want 1", h.count())
+	}
+}
+
+func TestTCPSendToDownAddressFails(t *testing.T) {
+	n := New(Options{DialTimeout: 200 * time.Millisecond})
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	_, err := n.Client("client").Send(ctx, "127.0.0.1:1",
+		&remoting.Request{Probe: &remoting.ProbeRequest{}})
+	if err == nil {
+		t.Fatal("send to a closed port should fail")
+	}
+}
+
+func TestTCPBestEffortDelivered(t *testing.T) {
+	n := New(Options{})
+	h := &countingHandler{}
+	if err := n.Register("127.0.0.1:0", h); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	defer n.Deregister("127.0.0.1:0")
+	addr, _ := n.ListenAddr("127.0.0.1:0")
+
+	n.Client("client").SendBestEffort(addr, &remoting.Request{Probe: &remoting.ProbeRequest{}})
+	deadline := time.Now().Add(2 * time.Second)
+	for h.count() == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if h.count() != 1 {
+		t.Fatal("best-effort message never arrived")
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payload := []byte("hello rapid")
+	if err := writeFrame(&buf, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("frame round trip mismatch: %q", got)
+	}
+}
+
+func TestReadFrameRejectsHugeFrames(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{0xff, 0xff, 0xff, 0xff})
+	if _, err := readFrame(&buf); err == nil {
+		t.Fatal("readFrame should reject oversized frames")
+	}
+}
+
+func TestDeregisterStopsListener(t *testing.T) {
+	n := New(Options{DialTimeout: 200 * time.Millisecond})
+	h := &countingHandler{}
+	if err := n.Register("127.0.0.1:0", h); err != nil {
+		t.Fatal(err)
+	}
+	addr, _ := n.ListenAddr("127.0.0.1:0")
+	n.Deregister("127.0.0.1:0")
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if _, err := n.Client("c").Send(ctx, addr, &remoting.Request{Probe: &remoting.ProbeRequest{}}); err == nil {
+		t.Fatal("send after Deregister should fail")
+	}
+}

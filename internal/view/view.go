@@ -1,0 +1,408 @@
+// Package view implements Rapid's membership view and its K-ring expander
+// monitoring topology (§4.1 of the paper). A view is a configuration: a set
+// of member endpoints plus a configuration identifier. The same membership
+// set always produces the same K rings on every process, so each process can
+// locally determine its observers and subjects without communication.
+//
+// The topology is built from K pseudo-random rings: ring r orders all members
+// by a per-ring hash of their address. A pair (o, s) is an observer/subject
+// edge if o immediately precedes s in some ring. Every process therefore has
+// K observers and K subjects, and the union of the rings is (with high
+// probability) a good expander — the property §8 of the paper relies on.
+package view
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+
+	"repro/internal/node"
+	"repro/internal/remoting"
+)
+
+// Errors returned by view mutations and queries.
+var (
+	// ErrNodeAlreadyInRing indicates an endpoint address is already a member.
+	ErrNodeAlreadyInRing = errors.New("view: node already in ring")
+	// ErrNodeNotInRing indicates the endpoint address is not a member.
+	ErrNodeNotInRing = errors.New("view: node not in ring")
+	// ErrUUIDAlreadyInRing indicates the logical identifier was already used
+	// in this view; the joiner must retry with a fresh identifier.
+	ErrUUIDAlreadyInRing = errors.New("view: UUID already in ring")
+)
+
+// View is a configuration: a membership set arranged into K rings. All methods
+// are safe for concurrent use.
+type View struct {
+	k int
+
+	mu            sync.RWMutex
+	rings         [][]node.Endpoint
+	byAddr        map[node.Addr]node.Endpoint
+	seenIDs       map[node.ID]bool
+	cachedConfig  uint64
+	configIsValid bool
+}
+
+// New creates an empty view with k rings. k must be at least 1; the paper
+// uses K=10.
+func New(k int) *View {
+	if k < 1 {
+		panic("view: k must be >= 1")
+	}
+	v := &View{
+		k:       k,
+		rings:   make([][]node.Endpoint, k),
+		byAddr:  make(map[node.Addr]node.Endpoint),
+		seenIDs: make(map[node.ID]bool),
+	}
+	for i := range v.rings {
+		v.rings[i] = nil
+	}
+	return v
+}
+
+// NewWithMembers creates a view with k rings containing the given members.
+func NewWithMembers(k int, members []node.Endpoint) *View {
+	v := New(k)
+	for _, m := range members {
+		// Ignore duplicates silently: initial member lists may repeat seeds.
+		_ = v.AddMember(m)
+	}
+	return v
+}
+
+// K returns the number of rings (observers per subject).
+func (v *View) K() int { return v.k }
+
+// Size returns the number of members in the view.
+func (v *View) Size() int {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return len(v.byAddr)
+}
+
+// Contains reports whether addr is a member of the view.
+func (v *View) Contains(addr node.Addr) bool {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	_, ok := v.byAddr[addr]
+	return ok
+}
+
+// ContainsID reports whether the logical identifier has been seen in this view.
+func (v *View) ContainsID(id node.ID) bool {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return v.seenIDs[id]
+}
+
+// Member returns the endpoint registered for addr.
+func (v *View) Member(addr node.Addr) (node.Endpoint, bool) {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	ep, ok := v.byAddr[addr]
+	return ep, ok
+}
+
+// Members returns all member endpoints sorted by address.
+func (v *View) Members() []node.Endpoint {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	out := make([]node.Endpoint, 0, len(v.byAddr))
+	for _, ep := range v.byAddr {
+		out = append(out, ep)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out
+}
+
+// MemberAddrs returns all member addresses sorted lexicographically.
+func (v *View) MemberAddrs() []node.Addr {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	out := make([]node.Addr, 0, len(v.byAddr))
+	for a := range v.byAddr {
+		out = append(out, a)
+	}
+	node.SortAddrs(out)
+	return out
+}
+
+// ringHash orders members within ring r. FNV-1a over the ring index and the
+// address, followed by a 64-bit avalanche finalizer (the murmur3 fmix64
+// routine), gives every ring an effectively independent pseudo-random
+// permutation that every process computes identically. The finalizer matters:
+// without it, orderings of nearby ring indices are correlated and the union
+// of the rings is a much weaker expander.
+func ringHash(addr node.Addr, ring int) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte{byte(ring), byte(ring >> 8), byte(ring >> 16), byte(ring >> 24)})
+	h.Write([]byte(addr))
+	return fmix64(h.Sum64())
+}
+
+// fmix64 is the murmur3 64-bit finalizer: a cheap bijective avalanche mix.
+func fmix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// ringLess is the ordering of ring r, with the address as a tie-breaker so
+// the order is total even under hash collisions.
+func ringLess(a, b node.Endpoint, ring int) bool {
+	ha, hb := ringHash(a.Addr, ring), ringHash(b.Addr, ring)
+	if ha != hb {
+		return ha < hb
+	}
+	return a.Addr < b.Addr
+}
+
+// AddMember inserts an endpoint into every ring. It fails if the address or
+// the logical identifier is already present.
+func (v *View) AddMember(ep node.Endpoint) error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if _, ok := v.byAddr[ep.Addr]; ok {
+		return ErrNodeAlreadyInRing
+	}
+	if v.seenIDs[ep.ID] {
+		return ErrUUIDAlreadyInRing
+	}
+	v.byAddr[ep.Addr] = ep
+	v.seenIDs[ep.ID] = true
+	for r := 0; r < v.k; r++ {
+		ring := v.rings[r]
+		idx := sort.Search(len(ring), func(i int) bool { return !ringLess(ring[i], ep, r) })
+		ring = append(ring, node.Endpoint{})
+		copy(ring[idx+1:], ring[idx:])
+		ring[idx] = ep
+		v.rings[r] = ring
+	}
+	v.configIsValid = false
+	return nil
+}
+
+// RemoveMember removes the endpoint with the given address from every ring.
+func (v *View) RemoveMember(addr node.Addr) error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if _, ok := v.byAddr[addr]; !ok {
+		return ErrNodeNotInRing
+	}
+	delete(v.byAddr, addr)
+	for r := 0; r < v.k; r++ {
+		ring := v.rings[r]
+		for i, ep := range ring {
+			if ep.Addr == addr {
+				v.rings[r] = append(ring[:i], ring[i+1:]...)
+				break
+			}
+		}
+	}
+	// Note: the logical ID stays in seenIDs; a process that rejoins must use
+	// a new identifier, as required by §3.
+	v.configIsValid = false
+	return nil
+}
+
+// ObserversOf returns the K processes that monitor addr: the predecessor of
+// addr in each ring. With fewer than two members there are no observers.
+func (v *View) ObserversOf(addr node.Addr) ([]node.Addr, error) {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	if _, ok := v.byAddr[addr]; !ok {
+		return nil, ErrNodeNotInRing
+	}
+	return v.neighboursLocked(addr, -1), nil
+}
+
+// SubjectsOf returns the K processes that addr monitors: the successor of
+// addr in each ring.
+func (v *View) SubjectsOf(addr node.Addr) ([]node.Addr, error) {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	if _, ok := v.byAddr[addr]; !ok {
+		return nil, ErrNodeNotInRing
+	}
+	return v.neighboursLocked(addr, +1), nil
+}
+
+// neighboursLocked returns the ring neighbour of addr in each ring in ring
+// order; direction -1 selects predecessors (observers), +1 successors
+// (subjects). Must be called with the lock held and addr present.
+func (v *View) neighboursLocked(addr node.Addr, direction int) []node.Addr {
+	out := make([]node.Addr, 0, v.k)
+	if len(v.byAddr) <= 1 {
+		return out
+	}
+	for r := 0; r < v.k; r++ {
+		ring := v.rings[r]
+		idx := v.indexInRingLocked(addr, r)
+		if idx < 0 {
+			continue
+		}
+		n := len(ring)
+		out = append(out, ring[((idx+direction)%n+n)%n].Addr)
+	}
+	return out
+}
+
+// indexInRingLocked finds addr's position in ring r.
+func (v *View) indexInRingLocked(addr node.Addr, r int) int {
+	ring := v.rings[r]
+	ep, ok := v.byAddr[addr]
+	if !ok {
+		return -1
+	}
+	idx := sort.Search(len(ring), func(i int) bool { return !ringLess(ring[i], ep, r) })
+	for idx < len(ring) && ring[idx].Addr != addr {
+		idx++
+	}
+	if idx >= len(ring) {
+		return -1
+	}
+	return idx
+}
+
+// ExpectedObserversOf returns the processes that would observe addr if it
+// were a member: the predecessors of addr's would-be position in each ring.
+// A joining process contacts these as its temporary observers (§4.1).
+func (v *View) ExpectedObserversOf(addr node.Addr) []node.Addr {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	out := make([]node.Addr, 0, v.k)
+	if len(v.byAddr) == 0 {
+		return out
+	}
+	probe := node.Endpoint{Addr: addr}
+	for r := 0; r < v.k; r++ {
+		ring := v.rings[r]
+		if len(ring) == 0 {
+			continue
+		}
+		idx := sort.Search(len(ring), func(i int) bool { return !ringLess(ring[i], probe, r) })
+		n := len(ring)
+		out = append(out, ring[((idx-1)%n+n)%n].Addr)
+	}
+	return out
+}
+
+// RingNumbers returns the ring indices in which observer immediately precedes
+// subject, i.e. the rings on which an alert from observer about subject is
+// valid. For a subject not in the view (a joiner) the would-be position is
+// used, matching ExpectedObserversOf.
+func (v *View) RingNumbers(observer, subject node.Addr) []int {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	var out []int
+	if _, ok := v.byAddr[subject]; ok {
+		if len(v.byAddr) <= 1 {
+			return out
+		}
+		for r := 0; r < v.k; r++ {
+			ring := v.rings[r]
+			idx := v.indexInRingLocked(subject, r)
+			if idx < 0 {
+				continue
+			}
+			n := len(ring)
+			if ring[((idx-1)%n+n)%n].Addr == observer {
+				out = append(out, r)
+			}
+		}
+		return out
+	}
+	// Joiner case.
+	probe := node.Endpoint{Addr: subject}
+	for r := 0; r < v.k; r++ {
+		ring := v.rings[r]
+		if len(ring) == 0 {
+			continue
+		}
+		idx := sort.Search(len(ring), func(i int) bool { return !ringLess(ring[i], probe, r) })
+		n := len(ring)
+		if ring[((idx-1)%n+n)%n].Addr == observer {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// ConfigurationID returns a 64-bit identifier of this configuration: a hash
+// over the sorted (address, identifier) pairs of the membership set. Two
+// processes with identical views compute identical identifiers.
+func (v *View) ConfigurationID() uint64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.configIsValid {
+		return v.cachedConfig
+	}
+	addrs := make([]node.Addr, 0, len(v.byAddr))
+	for a := range v.byAddr {
+		addrs = append(addrs, a)
+	}
+	node.SortAddrs(addrs)
+	h := fnv.New64a()
+	for _, a := range addrs {
+		ep := v.byAddr[a]
+		h.Write([]byte(a))
+		var idBytes [16]byte
+		for i := 0; i < 8; i++ {
+			idBytes[i] = byte(ep.ID.High >> (8 * i))
+			idBytes[8+i] = byte(ep.ID.Low >> (8 * i))
+		}
+		h.Write(idBytes[:])
+	}
+	v.cachedConfig = h.Sum64()
+	v.configIsValid = true
+	return v.cachedConfig
+}
+
+// IsSafeToJoin classifies a join attempt against the current view.
+func (v *View) IsSafeToJoin(addr node.Addr, id node.ID) remoting.JoinStatus {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	if _, ok := v.byAddr[addr]; ok {
+		return remoting.JoinHostAlreadyInRing
+	}
+	if v.seenIDs[id] {
+		return remoting.JoinUUIDAlreadyInRing
+	}
+	return remoting.JoinSafeToJoin
+}
+
+// Clone returns a deep copy of the view (used when handing a snapshot to a
+// new configuration or to application callbacks).
+func (v *View) Clone() *View {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	clone := New(v.k)
+	for a, ep := range v.byAddr {
+		clone.byAddr[a] = ep
+	}
+	for id := range v.seenIDs {
+		clone.seenIDs[id] = true
+	}
+	for r := 0; r < v.k; r++ {
+		clone.rings[r] = append([]node.Endpoint(nil), v.rings[r]...)
+	}
+	return clone
+}
+
+// Ring returns a copy of ring r, primarily for the expander analysis in
+// package graph and for tests.
+func (v *View) Ring(r int) ([]node.Endpoint, error) {
+	if r < 0 || r >= v.k {
+		return nil, fmt.Errorf("view: ring %d out of range [0,%d)", r, v.k)
+	}
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return append([]node.Endpoint(nil), v.rings[r]...), nil
+}

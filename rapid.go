@@ -1,0 +1,142 @@
+package rapid
+
+import (
+	"time"
+
+	"repro/internal/centralized"
+	"repro/internal/core"
+	"repro/internal/edgefd"
+	"repro/internal/node"
+	"repro/internal/simnet"
+	"repro/internal/tcpnet"
+	"repro/internal/transport"
+)
+
+// Re-exported identity types.
+type (
+	// Addr is a process address in "host:port" form.
+	Addr = node.Addr
+	// ID is a 128-bit logical process identifier.
+	ID = node.ID
+	// Endpoint is a cluster member: address, logical ID and metadata.
+	Endpoint = node.Endpoint
+)
+
+// Re-exported membership service types (decentralized mode, §4).
+type (
+	// Cluster is a process' handle on the membership service.
+	Cluster = core.Cluster
+	// Settings are the service tunables ({K, H, L}, probe intervals, ...).
+	Settings = core.Settings
+	// ViewChange is delivered to subscribers on every configuration change.
+	ViewChange = core.ViewChange
+	// StatusChange is one endpoint's join/removal inside a view change.
+	StatusChange = core.StatusChange
+	// Subscriber receives view-change notifications.
+	Subscriber = core.Subscriber
+)
+
+// Re-exported logically centralized mode types (Rapid-C, §5).
+type (
+	// EnsembleNode is one member of the auxiliary membership ensemble.
+	EnsembleNode = centralized.EnsembleNode
+	// EnsembleSettings tune the ensemble.
+	EnsembleSettings = centralized.EnsembleSettings
+	// EnsembleMember is a managed-cluster process in Rapid-C mode.
+	EnsembleMember = centralized.Member
+	// MemberSettings tune a Rapid-C member agent.
+	MemberSettings = centralized.MemberSettings
+)
+
+// Network is the transport abstraction clusters run on.
+type Network = transport.Network
+
+// DefaultSettings returns the paper's production parameters
+// ({K, H, L} = {10, 9, 3}, 1-second probes, 100 ms alert batching).
+func DefaultSettings() Settings { return core.DefaultSettings() }
+
+// ScaledSettings returns DefaultSettings with every duration divided by
+// factor, for compressed-time tests and experiments.
+func ScaledSettings(factor float64) Settings { return core.ScaledSettings(factor) }
+
+// StartCluster bootstraps a new single-member cluster listening on addr.
+func StartCluster(addr Addr, settings Settings, net Network) (*Cluster, error) {
+	return core.StartCluster(addr, settings, net)
+}
+
+// JoinCluster joins an existing cluster through the given seeds.
+func JoinCluster(addr Addr, seeds []Addr, settings Settings, net Network) (*Cluster, error) {
+	return core.JoinCluster(addr, seeds, settings, net)
+}
+
+// StartEnsemble boots the Rapid-C auxiliary ensemble (typically 3 nodes).
+func StartEnsemble(addrs []Addr, settings EnsembleSettings, net Network) ([]*EnsembleNode, error) {
+	return centralized.StartEnsemble(addrs, settings, net)
+}
+
+// DefaultEnsembleSettings returns the Rapid-C ensemble defaults.
+func DefaultEnsembleSettings() EnsembleSettings { return centralized.DefaultEnsembleSettings() }
+
+// DefaultMemberSettings returns the Rapid-C member defaults (5-second polls).
+func DefaultMemberSettings() MemberSettings { return centralized.DefaultMemberSettings() }
+
+// JoinViaEnsemble joins the managed cluster of a Rapid-C ensemble.
+func JoinViaEnsemble(addr Addr, ensemble []Addr, settings MemberSettings, net Network) (*EnsembleMember, error) {
+	return centralized.JoinViaEnsemble(addr, ensemble, settings, net)
+}
+
+// SimulatedNetworkOptions configure the in-process network.
+type SimulatedNetworkOptions struct {
+	// Seed makes packet-loss decisions reproducible.
+	Seed int64
+	// Latency, if non-zero, is added to every request/response exchange.
+	Latency time.Duration
+	// AccountBandwidth enables per-node byte accounting.
+	AccountBandwidth bool
+}
+
+// SimulatedNetwork is the in-process transport with fault injection used by
+// tests, examples and the experiment harness.
+type SimulatedNetwork = simnet.Network
+
+// NewSimulatedNetwork creates an in-process network.
+func NewSimulatedNetwork(opts SimulatedNetworkOptions) *SimulatedNetwork {
+	return simnet.New(simnet.Options{
+		Seed:             opts.Seed,
+		Latency:          opts.Latency,
+		AccountBandwidth: opts.AccountBandwidth,
+	})
+}
+
+// TCPNetworkOptions configure the real TCP transport.
+type TCPNetworkOptions struct {
+	// DialTimeout bounds connection establishment.
+	DialTimeout time.Duration
+	// RequestTimeout bounds a whole request/response exchange.
+	RequestTimeout time.Duration
+}
+
+// TCPNetwork is the TCP transport used by standalone agents.
+type TCPNetwork = tcpnet.Network
+
+// NewTCPNetwork creates a TCP transport.
+func NewTCPNetwork(opts TCPNetworkOptions) *TCPNetwork {
+	return tcpnet.New(tcpnet.Options{DialTimeout: opts.DialTimeout, RequestTimeout: opts.RequestTimeout})
+}
+
+// PingPongFailureDetector returns the paper's default edge failure detector
+// factory (an edge is faulty when 40% of the last 10 probes failed).
+func PingPongFailureDetector() edgefd.Factory {
+	return edgefd.NewPingPongFactory(edgefd.DefaultPingPongOptions())
+}
+
+// CountingFailureDetector returns an edge failure detector that fails an edge
+// after the given number of consecutive probe failures.
+func CountingFailureDetector(consecutiveFailures int) edgefd.Factory {
+	return edgefd.NewCountingFactory(consecutiveFailures)
+}
+
+// PhiAccrualFailureDetector returns an adaptive φ-accrual edge detector.
+func PhiAccrualFailureDetector() edgefd.Factory {
+	return edgefd.NewPhiAccrualFactory(edgefd.DefaultPhiAccrualOptions())
+}
