@@ -199,6 +199,7 @@ func BenchmarkViewConstruction(b *testing.B) {
 			ID:   node.ID{High: uint64(i + 1), Low: uint64(i + 13)},
 		}
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		v := view.NewWithMembers(10, eps)
@@ -212,6 +213,7 @@ func BenchmarkViewConstruction(b *testing.B) {
 func BenchmarkObserversLookup(b *testing.B) {
 	v := buildBenchView(10, 1000)
 	addrs := v.MemberAddrs()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := v.ObserversOf(addrs[i%len(addrs)]); err != nil {
@@ -220,9 +222,27 @@ func BenchmarkObserversLookup(b *testing.B) {
 	}
 }
 
+// BenchmarkViewChurn measures one add + remove on a 1000-member view, the
+// incremental cost of a single-member view change.
+func BenchmarkViewChurn(b *testing.B) {
+	v := buildBenchView(10, 1000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ep := node.Endpoint{Addr: "churn:1", ID: node.ID{High: 1 << 40, Low: uint64(i + 1)}}
+		if err := v.AddMember(ep); err != nil {
+			b.Fatal(err)
+		}
+		if err := v.RemoveMember(ep.Addr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkConfigurationID measures the configuration identifier hash.
 func BenchmarkConfigurationID(b *testing.B) {
 	v := buildBenchView(10, 1000)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = v.ConfigurationID()
@@ -238,6 +258,7 @@ func BenchmarkAlertEncoding(b *testing.B) {
 			Status: remoting.EdgeDown, ConfigurationID: 42, RingNumbers: []int{1, 5},
 		})
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		data, err := remoting.EncodeRequest(batch)

@@ -157,11 +157,19 @@ func (p *Platform) pickSerializationServer(alive []node.Addr) node.Addr {
 // FailoverPause) and a new serialization server is selected.
 func (p *Platform) watchLoop() {
 	defer p.wg.Done()
+	// A single reused ticker: time.After inside the loop would allocate a new
+	// timer every iteration, none of which are collected until they fire.
+	interval := p.opts.CheckInterval
+	if interval <= 0 {
+		interval = DefaultOptions().CheckInterval
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
 	for {
 		select {
 		case <-p.stopCh:
 			return
-		case <-time.After(p.opts.CheckInterval):
+		case <-ticker.C:
 		}
 		alive := p.source.AliveServers()
 		aliveSet := make(map[node.Addr]bool, len(alive))

@@ -558,15 +558,7 @@ func (m *Member) installView(configID uint64, members []node.Endpoint) {
 	m.monitors = nil
 	var subjects []node.Addr
 	if m.view.Contains(m.me.Addr) && !m.stopped {
-		if raw, err := m.view.SubjectsOf(m.me.Addr); err == nil {
-			seen := make(map[node.Addr]bool)
-			for _, s := range raw {
-				if s != m.me.Addr && !seen[s] {
-					seen[s] = true
-					subjects = append(subjects, s)
-				}
-			}
-		}
+		subjects, _ = m.view.UniqueSubjectsOf(m.me.Addr)
 	}
 	var fresh []edgefd.Monitor
 	for _, s := range subjects {

@@ -288,16 +288,7 @@ func (c *Cluster) restartMonitors() {
 	c.monitors = nil
 	var subjects []node.Addr
 	if c.started && !c.stopped && c.view.Contains(c.me.Addr) {
-		if subs, err := c.view.SubjectsOf(c.me.Addr); err == nil {
-			seen := make(map[node.Addr]bool)
-			for _, s := range subs {
-				if s == c.me.Addr || seen[s] {
-					continue
-				}
-				seen[s] = true
-				subjects = append(subjects, s)
-			}
-		}
+		subjects, _ = c.view.UniqueSubjectsOf(c.me.Addr)
 	}
 	factory := c.settings.FailureDetector
 	var fresh []edgefd.Monitor

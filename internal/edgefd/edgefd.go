@@ -86,8 +86,11 @@ func (pr *prober) Start() {
 		return
 	}
 	pr.started = true
-	pr.mu.Unlock()
+	// Add while still holding the lock: a concurrent Stop that observes
+	// started == true must find the WaitGroup counter already incremented,
+	// otherwise its Wait races with this Add.
 	pr.done.Add(1)
+	pr.mu.Unlock()
 	go pr.loop()
 }
 

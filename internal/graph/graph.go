@@ -56,7 +56,8 @@ func (g *Multigraph) EdgesWithin(set map[int]bool) int {
 
 // FromView builds the monitoring multigraph of a membership view: one edge
 // per (observer, subject) relation across all K rings, so the graph is
-// 2K-regular.
+// 2K-regular. Each ring is walked once — consecutive ring entries are exactly
+// the (observer, subject) pairs — instead of querying SubjectsOf per member.
 func FromView(v *view.View) (*Multigraph, []node.Addr, error) {
 	members := v.MemberAddrs()
 	index := make(map[node.Addr]int, len(members))
@@ -64,13 +65,17 @@ func FromView(v *view.View) (*Multigraph, []node.Addr, error) {
 		index[a] = i
 	}
 	g := NewMultigraph(len(members))
-	for _, a := range members {
-		subjects, err := v.SubjectsOf(a)
+	if len(members) <= 1 {
+		return g, members, nil
+	}
+	for r := 0; r < v.K(); r++ {
+		ring, err := v.Ring(r)
 		if err != nil {
 			return nil, nil, fmt.Errorf("graph: %w", err)
 		}
-		for _, s := range subjects {
-			g.AddEdge(index[a], index[s])
+		for i := range ring {
+			succ := ring[(i+1)%len(ring)]
+			g.AddEdge(index[ring[i].Addr], index[succ.Addr])
 		}
 	}
 	return g, members, nil

@@ -1,8 +1,8 @@
 // Package remoting defines the wire-level message types exchanged by the
 // membership service: join phases, edge alerts, failure-detector probes,
 // Fast-Paxos votes, classical Paxos phases, and leave announcements. It also
-// provides an encoding/gob based codec so that real transports (TCP) and the
-// simulated network can account for message sizes.
+// provides a compact hand-rolled binary codec (see codec.go) so that real
+// transports (TCP) and the simulated network can account for message sizes.
 //
 // The set of messages mirrors the RPCs of the Rapid paper (§4, §6): JOIN is a
 // two-phase protocol (pre-join to a seed, then join to the K temporary
@@ -240,8 +240,8 @@ type CustomMessage struct {
 }
 
 // Request is the union of all RPC request payloads. Exactly one of the
-// pointer fields is set. Using a flat union keeps the gob stream free of
-// interface registration concerns and keeps encoding deterministic.
+// pointer fields is set. Using a flat union avoids per-message type
+// information on the wire and keeps encoding deterministic.
 type Request struct {
 	PreJoin   *PreJoinRequest
 	Join      *JoinRequest

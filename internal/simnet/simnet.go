@@ -42,8 +42,9 @@ type Options struct {
 	Seed int64
 	// Latency, if non-zero, is added to every synchronous request/response.
 	Latency time.Duration
-	// AccountBandwidth enables per-node byte accounting (costs one encode per
-	// message, so it is off by default).
+	// AccountBandwidth enables per-node byte accounting. It costs one sizing
+	// pass per message (RequestSize/ResponseSize over the binary codec, with
+	// a pooled scratch buffer), so it is off by default.
 	AccountBandwidth bool
 	// InboxSize bounds each node's best-effort message queue; further
 	// messages are dropped, mimicking UDP behaviour under load.

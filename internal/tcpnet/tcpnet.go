@@ -1,5 +1,6 @@
-// Package tcpnet is the real-network transport: length-prefixed gob-encoded
-// requests and responses over TCP. It is used by cmd/rapid-node to run a
+// Package tcpnet is the real-network transport: requests and responses over
+// TCP, each framed by a 4-byte length prefix around the compact binary
+// encoding of package remoting. It is used by cmd/rapid-node to run a
 // membership agent as an ordinary process; the simulated network (package
 // simnet) is used everywhere else in tests and experiments.
 package tcpnet

@@ -9,13 +9,21 @@
 // edge if o immediately precedes s in some ring. Every process therefore has
 // K observers and K subjects, and the union of the rings is (with high
 // probability) a good expander — the property §8 of the paper relies on.
+//
+// Hot-path design: each member's K ring hashes are computed exactly once, at
+// insert time, and every member record carries its current index in each ring.
+// Topology queries (ObserversOf, SubjectsOf, RingNumbers) are therefore O(K)
+// array lookups with no hashing and no searching, and bulk construction
+// (NewWithMembers) hashes each address K times and sorts each ring once —
+// O(K·N log N) — instead of performing N repeated sorted insertions.
 package view
 
 import (
 	"errors"
 	"fmt"
-	"hash/fnv"
+	"slices"
 	"sort"
+	"strings"
 	"sync"
 
 	"repro/internal/node"
@@ -33,14 +41,23 @@ var (
 	ErrUUIDAlreadyInRing = errors.New("view: UUID already in ring")
 )
 
+// memberRec is the internal record for one member. hashes is immutable after
+// construction (and therefore shared with clones); pos tracks the member's
+// current index in each ring and is updated by ring mutations.
+type memberRec struct {
+	ep     node.Endpoint
+	hashes []uint64 // per-ring ordering hash, computed once at insert time
+	pos    []int    // current index of this member in each ring
+}
+
 // View is a configuration: a membership set arranged into K rings. All methods
 // are safe for concurrent use.
 type View struct {
 	k int
 
 	mu            sync.RWMutex
-	rings         [][]node.Endpoint
-	byAddr        map[node.Addr]node.Endpoint
+	rings         [][]*memberRec
+	byAddr        map[node.Addr]*memberRec
 	seenIDs       map[node.ID]bool
 	cachedConfig  uint64
 	configIsValid bool
@@ -52,24 +69,70 @@ func New(k int) *View {
 	if k < 1 {
 		panic("view: k must be >= 1")
 	}
-	v := &View{
+	return &View{
 		k:       k,
-		rings:   make([][]node.Endpoint, k),
-		byAddr:  make(map[node.Addr]node.Endpoint),
+		rings:   make([][]*memberRec, k),
+		byAddr:  make(map[node.Addr]*memberRec),
 		seenIDs: make(map[node.ID]bool),
 	}
-	for i := range v.rings {
-		v.rings[i] = nil
-	}
-	return v
 }
 
 // NewWithMembers creates a view with k rings containing the given members.
+// Duplicate addresses and identifiers are ignored silently: initial member
+// lists may repeat seeds. Construction hashes each member once per ring and
+// sorts each ring once, which is far cheaper than repeated AddMember calls.
 func NewWithMembers(k int, members []node.Endpoint) *View {
 	v := New(k)
-	for _, m := range members {
-		// Ignore duplicates silently: initial member lists may repeat seeds.
-		_ = v.AddMember(m)
+	recs := make([]*memberRec, 0, len(members))
+	// Block-allocate the records and their hash/position arrays: one backing
+	// array each instead of three allocations per member.
+	recBlock := make([]memberRec, len(members))
+	hashBlock := make([]uint64, len(members)*k)
+	posBlock := make([]int, len(members)*k)
+	for _, ep := range members {
+		if _, ok := v.byAddr[ep.Addr]; ok {
+			continue
+		}
+		if v.seenIDs[ep.ID] {
+			continue
+		}
+		i := len(recs)
+		rec := &recBlock[i]
+		rec.ep = ep
+		rec.hashes = hashBlock[i*k : (i+1)*k : (i+1)*k]
+		rec.pos = posBlock[i*k : (i+1)*k : (i+1)*k]
+		fillRingHashes(rec.hashes, ep.Addr)
+		v.byAddr[ep.Addr] = rec
+		v.seenIDs[ep.ID] = true
+		recs = append(recs, rec)
+	}
+	// Sort (hash, rec) pairs rather than *memberRec directly: comparisons stay
+	// on a contiguous value slice instead of chasing pointers.
+	type ringKey struct {
+		hash uint64
+		rec  *memberRec
+	}
+	keys := make([]ringKey, len(recs))
+	ringBlock := make([]*memberRec, len(recs)*k)
+	for r := 0; r < k; r++ {
+		for i, rec := range recs {
+			keys[i] = ringKey{hash: rec.hashes[r], rec: rec}
+		}
+		slices.SortFunc(keys, func(a, b ringKey) int {
+			if a.hash != b.hash {
+				if a.hash < b.hash {
+					return -1
+				}
+				return 1
+			}
+			return strings.Compare(string(a.rec.ep.Addr), string(b.rec.ep.Addr))
+		})
+		ring := ringBlock[r*len(recs) : (r+1)*len(recs) : (r+1)*len(recs)]
+		for i, key := range keys {
+			ring[i] = key.rec
+			key.rec.pos[r] = i
+		}
+		v.rings[r] = ring
 	}
 	return v
 }
@@ -103,8 +166,11 @@ func (v *View) ContainsID(id node.ID) bool {
 func (v *View) Member(addr node.Addr) (node.Endpoint, bool) {
 	v.mu.RLock()
 	defer v.mu.RUnlock()
-	ep, ok := v.byAddr[addr]
-	return ep, ok
+	rec, ok := v.byAddr[addr]
+	if !ok {
+		return node.Endpoint{}, false
+	}
+	return rec.ep, true
 }
 
 // Members returns all member endpoints sorted by address.
@@ -112,8 +178,8 @@ func (v *View) Members() []node.Endpoint {
 	v.mu.RLock()
 	defer v.mu.RUnlock()
 	out := make([]node.Endpoint, 0, len(v.byAddr))
-	for _, ep := range v.byAddr {
-		out = append(out, ep)
+	for _, rec := range v.byAddr {
+		out = append(out, rec.ep)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
 	return out
@@ -131,17 +197,38 @@ func (v *View) MemberAddrs() []node.Addr {
 	return out
 }
 
+// fnvOffset and fnvPrime are the FNV-1a 64-bit parameters.
+const (
+	fnvOffset = 0xcbf29ce484222325
+	fnvPrime  = 0x100000001b3
+)
+
 // ringHash orders members within ring r. FNV-1a over the ring index and the
 // address, followed by a 64-bit avalanche finalizer (the murmur3 fmix64
 // routine), gives every ring an effectively independent pseudo-random
 // permutation that every process computes identically. The finalizer matters:
 // without it, orderings of nearby ring indices are correlated and the union
 // of the rings is a much weaker expander.
+//
+// The hash is inlined (no hash.Hash64 allocation) and each member's K hashes
+// are computed exactly once, at insert time; comparisons never hash.
 func ringHash(addr node.Addr, ring int) uint64 {
-	h := fnv.New64a()
-	h.Write([]byte{byte(ring), byte(ring >> 8), byte(ring >> 16), byte(ring >> 24)})
-	h.Write([]byte(addr))
-	return fmix64(h.Sum64())
+	h := uint64(fnvOffset)
+	h = (h ^ uint64(byte(ring))) * fnvPrime
+	h = (h ^ uint64(byte(ring>>8))) * fnvPrime
+	h = (h ^ uint64(byte(ring>>16))) * fnvPrime
+	h = (h ^ uint64(byte(ring>>24))) * fnvPrime
+	for i := 0; i < len(addr); i++ {
+		h = (h ^ uint64(addr[i])) * fnvPrime
+	}
+	return fmix64(h)
+}
+
+// fillRingHashes computes the per-ring hashes of addr into dst (len K).
+func fillRingHashes(dst []uint64, addr node.Addr) {
+	for r := range dst {
+		dst[r] = ringHash(addr, r)
+	}
 }
 
 // fmix64 is the murmur3 64-bit finalizer: a cheap bijective avalanche mix.
@@ -154,14 +241,22 @@ func fmix64(x uint64) uint64 {
 	return x
 }
 
-// ringLess is the ordering of ring r, with the address as a tie-breaker so
-// the order is total even under hash collisions.
-func ringLess(a, b node.Endpoint, ring int) bool {
-	ha, hb := ringHash(a.Addr, ring), ringHash(b.Addr, ring)
-	if ha != hb {
-		return ha < hb
+// searchRing returns the insertion index in ring (sorted for ring r) for a
+// member with the given hash and address: the first index whose entry does not
+// order strictly before (hash, addr). The address is the tie-breaker so the
+// order is total even under hash collisions.
+func searchRing(ring []*memberRec, r int, hash uint64, addr node.Addr) int {
+	lo, hi := 0, len(ring)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		e := ring[mid]
+		if e.hashes[r] < hash || (e.hashes[r] == hash && e.ep.Addr < addr) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
 	}
-	return a.Addr < b.Addr
+	return lo
 }
 
 // AddMember inserts an endpoint into every ring. It fails if the address or
@@ -175,14 +270,24 @@ func (v *View) AddMember(ep node.Endpoint) error {
 	if v.seenIDs[ep.ID] {
 		return ErrUUIDAlreadyInRing
 	}
-	v.byAddr[ep.Addr] = ep
+	rec := &memberRec{
+		ep:     ep,
+		hashes: make([]uint64, v.k),
+		pos:    make([]int, v.k),
+	}
+	fillRingHashes(rec.hashes, ep.Addr)
+	v.byAddr[ep.Addr] = rec
 	v.seenIDs[ep.ID] = true
 	for r := 0; r < v.k; r++ {
 		ring := v.rings[r]
-		idx := sort.Search(len(ring), func(i int) bool { return !ringLess(ring[i], ep, r) })
-		ring = append(ring, node.Endpoint{})
+		idx := searchRing(ring, r, rec.hashes[r], ep.Addr)
+		ring = append(ring, nil)
 		copy(ring[idx+1:], ring[idx:])
-		ring[idx] = ep
+		ring[idx] = rec
+		rec.pos[r] = idx
+		for i := idx + 1; i < len(ring); i++ {
+			ring[i].pos[r]++
+		}
 		v.rings[r] = ring
 	}
 	v.configIsValid = false
@@ -190,21 +295,26 @@ func (v *View) AddMember(ep node.Endpoint) error {
 }
 
 // RemoveMember removes the endpoint with the given address from every ring.
+// The position index makes each ring removal a direct O(1) lookup plus the
+// unavoidable shift, with no searching.
 func (v *View) RemoveMember(addr node.Addr) error {
 	v.mu.Lock()
 	defer v.mu.Unlock()
-	if _, ok := v.byAddr[addr]; !ok {
+	rec, ok := v.byAddr[addr]
+	if !ok {
 		return ErrNodeNotInRing
 	}
 	delete(v.byAddr, addr)
 	for r := 0; r < v.k; r++ {
 		ring := v.rings[r]
-		for i, ep := range ring {
-			if ep.Addr == addr {
-				v.rings[r] = append(ring[:i], ring[i+1:]...)
-				break
-			}
+		idx := rec.pos[r]
+		copy(ring[idx:], ring[idx+1:])
+		ring[len(ring)-1] = nil
+		ring = ring[:len(ring)-1]
+		for i := idx; i < len(ring); i++ {
+			ring[i].pos[r]--
 		}
+		v.rings[r] = ring
 	}
 	// Note: the logical ID stays in seenIDs; a process that rejoins must use
 	// a new identifier, as required by §3.
@@ -217,10 +327,11 @@ func (v *View) RemoveMember(addr node.Addr) error {
 func (v *View) ObserversOf(addr node.Addr) ([]node.Addr, error) {
 	v.mu.RLock()
 	defer v.mu.RUnlock()
-	if _, ok := v.byAddr[addr]; !ok {
+	rec, ok := v.byAddr[addr]
+	if !ok {
 		return nil, ErrNodeNotInRing
 	}
-	return v.neighboursLocked(addr, -1), nil
+	return v.neighboursLocked(rec, -1), nil
 }
 
 // SubjectsOf returns the K processes that addr monitors: the successor of
@@ -228,47 +339,58 @@ func (v *View) ObserversOf(addr node.Addr) ([]node.Addr, error) {
 func (v *View) SubjectsOf(addr node.Addr) ([]node.Addr, error) {
 	v.mu.RLock()
 	defer v.mu.RUnlock()
-	if _, ok := v.byAddr[addr]; !ok {
+	rec, ok := v.byAddr[addr]
+	if !ok {
 		return nil, ErrNodeNotInRing
 	}
-	return v.neighboursLocked(addr, +1), nil
+	return v.neighboursLocked(rec, +1), nil
 }
 
-// neighboursLocked returns the ring neighbour of addr in each ring in ring
+// UniqueSubjectsOf returns the distinct subjects of addr, excluding addr
+// itself: the set of processes addr must run an edge failure detector
+// against. Ring multiplicity is irrelevant to monitoring, so callers that
+// start one monitor per subject want this rather than SubjectsOf.
+func (v *View) UniqueSubjectsOf(addr node.Addr) ([]node.Addr, error) {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	rec, ok := v.byAddr[addr]
+	if !ok {
+		return nil, ErrNodeNotInRing
+	}
+	subs := v.neighboursLocked(rec, +1)
+	out := subs[:0]
+	for _, s := range subs {
+		if s == addr {
+			continue
+		}
+		dup := false
+		for _, seen := range out {
+			if seen == s {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, s)
+		}
+	}
+	return out, nil
+}
+
+// neighboursLocked returns the ring neighbour of rec in each ring in ring
 // order; direction -1 selects predecessors (observers), +1 successors
-// (subjects). Must be called with the lock held and addr present.
-func (v *View) neighboursLocked(addr node.Addr, direction int) []node.Addr {
+// (subjects). Must be called with the lock held.
+func (v *View) neighboursLocked(rec *memberRec, direction int) []node.Addr {
 	out := make([]node.Addr, 0, v.k)
 	if len(v.byAddr) <= 1 {
 		return out
 	}
 	for r := 0; r < v.k; r++ {
 		ring := v.rings[r]
-		idx := v.indexInRingLocked(addr, r)
-		if idx < 0 {
-			continue
-		}
 		n := len(ring)
-		out = append(out, ring[((idx+direction)%n+n)%n].Addr)
+		out = append(out, ring[((rec.pos[r]+direction)%n+n)%n].ep.Addr)
 	}
 	return out
-}
-
-// indexInRingLocked finds addr's position in ring r.
-func (v *View) indexInRingLocked(addr node.Addr, r int) int {
-	ring := v.rings[r]
-	ep, ok := v.byAddr[addr]
-	if !ok {
-		return -1
-	}
-	idx := sort.Search(len(ring), func(i int) bool { return !ringLess(ring[i], ep, r) })
-	for idx < len(ring) && ring[idx].Addr != addr {
-		idx++
-	}
-	if idx >= len(ring) {
-		return -1
-	}
-	return idx
 }
 
 // ExpectedObserversOf returns the processes that would observe addr if it
@@ -281,15 +403,14 @@ func (v *View) ExpectedObserversOf(addr node.Addr) []node.Addr {
 	if len(v.byAddr) == 0 {
 		return out
 	}
-	probe := node.Endpoint{Addr: addr}
 	for r := 0; r < v.k; r++ {
 		ring := v.rings[r]
 		if len(ring) == 0 {
 			continue
 		}
-		idx := sort.Search(len(ring), func(i int) bool { return !ringLess(ring[i], probe, r) })
+		idx := searchRing(ring, r, ringHash(addr, r), addr)
 		n := len(ring)
-		out = append(out, ring[((idx-1)%n+n)%n].Addr)
+		out = append(out, ring[((idx-1)%n+n)%n].ep.Addr)
 	}
 	return out
 }
@@ -302,33 +423,29 @@ func (v *View) RingNumbers(observer, subject node.Addr) []int {
 	v.mu.RLock()
 	defer v.mu.RUnlock()
 	var out []int
-	if _, ok := v.byAddr[subject]; ok {
+	if rec, ok := v.byAddr[subject]; ok {
 		if len(v.byAddr) <= 1 {
 			return out
 		}
 		for r := 0; r < v.k; r++ {
 			ring := v.rings[r]
-			idx := v.indexInRingLocked(subject, r)
-			if idx < 0 {
-				continue
-			}
 			n := len(ring)
-			if ring[((idx-1)%n+n)%n].Addr == observer {
+			if ring[((rec.pos[r]-1)%n+n)%n].ep.Addr == observer {
 				out = append(out, r)
 			}
 		}
 		return out
 	}
-	// Joiner case.
-	probe := node.Endpoint{Addr: subject}
+	// Joiner case: locate the would-be position by binary search, hashing the
+	// probe address once per ring.
 	for r := 0; r < v.k; r++ {
 		ring := v.rings[r]
 		if len(ring) == 0 {
 			continue
 		}
-		idx := sort.Search(len(ring), func(i int) bool { return !ringLess(ring[i], probe, r) })
+		idx := searchRing(ring, r, ringHash(subject, r), subject)
 		n := len(ring)
-		if ring[((idx-1)%n+n)%n].Addr == observer {
+		if ring[((idx-1)%n+n)%n].ep.Addr == observer {
 			out = append(out, r)
 		}
 	}
@@ -338,7 +455,19 @@ func (v *View) RingNumbers(observer, subject node.Addr) []int {
 // ConfigurationID returns a 64-bit identifier of this configuration: a hash
 // over the sorted (address, identifier) pairs of the membership set. Two
 // processes with identical views compute identical identifiers.
+//
+// The common case — the cached identifier is valid — takes only the read
+// lock, so concurrent readers are not serialized; the write lock is taken
+// only to recompute after a membership change (double-checked).
 func (v *View) ConfigurationID() uint64 {
+	v.mu.RLock()
+	if v.configIsValid {
+		id := v.cachedConfig
+		v.mu.RUnlock()
+		return id
+	}
+	v.mu.RUnlock()
+
 	v.mu.Lock()
 	defer v.mu.Unlock()
 	if v.configIsValid {
@@ -349,18 +478,20 @@ func (v *View) ConfigurationID() uint64 {
 		addrs = append(addrs, a)
 	}
 	node.SortAddrs(addrs)
-	h := fnv.New64a()
+	h := uint64(fnvOffset)
 	for _, a := range addrs {
-		ep := v.byAddr[a]
-		h.Write([]byte(a))
-		var idBytes [16]byte
-		for i := 0; i < 8; i++ {
-			idBytes[i] = byte(ep.ID.High >> (8 * i))
-			idBytes[8+i] = byte(ep.ID.Low >> (8 * i))
+		id := v.byAddr[a].ep.ID
+		for i := 0; i < len(a); i++ {
+			h = (h ^ uint64(a[i])) * fnvPrime
 		}
-		h.Write(idBytes[:])
+		for i := 0; i < 8; i++ {
+			h = (h ^ uint64(byte(id.High>>(8*i)))) * fnvPrime
+		}
+		for i := 0; i < 8; i++ {
+			h = (h ^ uint64(byte(id.Low>>(8*i)))) * fnvPrime
+		}
 	}
-	v.cachedConfig = h.Sum64()
+	v.cachedConfig = h
 	v.configIsValid = true
 	return v.cachedConfig
 }
@@ -384,15 +515,27 @@ func (v *View) Clone() *View {
 	v.mu.RLock()
 	defer v.mu.RUnlock()
 	clone := New(v.k)
-	for a, ep := range v.byAddr {
-		clone.byAddr[a] = ep
+	for a, rec := range v.byAddr {
+		// The hash slice is immutable after construction and safely shared;
+		// positions are mutable per-view state and must be copied.
+		clone.byAddr[a] = &memberRec{
+			ep:     rec.ep,
+			hashes: rec.hashes,
+			pos:    append([]int(nil), rec.pos...),
+		}
 	}
 	for id := range v.seenIDs {
 		clone.seenIDs[id] = true
 	}
 	for r := 0; r < v.k; r++ {
-		clone.rings[r] = append([]node.Endpoint(nil), v.rings[r]...)
+		ring := make([]*memberRec, len(v.rings[r]))
+		for i, rec := range v.rings[r] {
+			ring[i] = clone.byAddr[rec.ep.Addr]
+		}
+		clone.rings[r] = ring
 	}
+	clone.cachedConfig = v.cachedConfig
+	clone.configIsValid = v.configIsValid
 	return clone
 }
 
@@ -404,5 +547,9 @@ func (v *View) Ring(r int) ([]node.Endpoint, error) {
 	}
 	v.mu.RLock()
 	defer v.mu.RUnlock()
-	return append([]node.Endpoint(nil), v.rings[r]...), nil
+	out := make([]node.Endpoint, len(v.rings[r]))
+	for i, rec := range v.rings[r] {
+		out[i] = rec.ep
+	}
+	return out, nil
 }

@@ -422,3 +422,120 @@ func TestViewInvariantsUnderRandomOperations(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestUniqueSubjectsOf(t *testing.T) {
+	// UniqueSubjectsOf must equal SubjectsOf with duplicates and self removed,
+	// across a range of sizes (small views force both duplicates and self).
+	for _, n := range []int{2, 3, 5, 12, 30} {
+		v := NewWithMembers(10, endpoints(n))
+		for _, ep := range v.Members() {
+			subs, err := v.SubjectsOf(ep.Addr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := make([]node.Addr, 0, len(subs))
+			seen := make(map[node.Addr]bool)
+			for _, s := range subs {
+				if s != ep.Addr && !seen[s] {
+					seen[s] = true
+					want = append(want, s)
+				}
+			}
+			got, err := v.UniqueSubjectsOf(ep.Addr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fmt.Sprint(got) != fmt.Sprint(want) {
+				t.Fatalf("n=%d UniqueSubjectsOf(%v) = %v, want %v", n, ep.Addr, got, want)
+			}
+		}
+	}
+	if _, err := NewWithMembers(3, endpoints(3)).UniqueSubjectsOf("ghost:1"); err != ErrNodeNotInRing {
+		t.Fatalf("err = %v, want ErrNodeNotInRing", err)
+	}
+}
+
+func TestNeighbourLookupAllocs(t *testing.T) {
+	// The position index makes neighbour lookups O(K) with a single result
+	// slice allocation — no hashing, no searching.
+	v := NewWithMembers(10, endpoints(100))
+	addr := endpoints(100)[37].Addr
+	for name, fn := range map[string]func(){
+		"ObserversOf": func() {
+			if _, err := v.ObserversOf(addr); err != nil {
+				t.Fatal(err)
+			}
+		},
+		"SubjectsOf": func() {
+			if _, err := v.SubjectsOf(addr); err != nil {
+				t.Fatal(err)
+			}
+		},
+	} {
+		if allocs := testing.AllocsPerRun(100, fn); allocs > 1 {
+			t.Errorf("%s allocates %.0f times per lookup, want <= 1", name, allocs)
+		}
+	}
+}
+
+func TestConfigurationIDCachedAllocs(t *testing.T) {
+	// A cache hit takes only the read lock and must not allocate.
+	v := NewWithMembers(10, endpoints(50))
+	v.ConfigurationID()
+	if allocs := testing.AllocsPerRun(100, func() { v.ConfigurationID() }); allocs > 0 {
+		t.Errorf("cached ConfigurationID allocates %.0f times, want 0", allocs)
+	}
+}
+
+func TestBulkConstructionAllocs(t *testing.T) {
+	// NewWithMembers block-allocates member records and rings: constructing a
+	// 100-member 10-ring view must stay well under one allocation per member
+	// (the map buckets dominate what remains).
+	eps := endpoints(100)
+	allocs := testing.AllocsPerRun(20, func() {
+		if NewWithMembers(10, eps).Size() != 100 {
+			t.Fatal("bad view")
+		}
+	})
+	if allocs > 60 {
+		t.Errorf("NewWithMembers(10, 100 members) allocates %.0f times, want <= 60", allocs)
+	}
+}
+
+func TestConcurrentReadersWithCacheHit(t *testing.T) {
+	// Regression test for ConfigurationID serializing readers: concurrent
+	// cached reads plus topology lookups must be race-free (run under -race).
+	v := NewWithMembers(10, endpoints(40))
+	v.ConfigurationID()
+	addrs := v.MemberAddrs()
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 500; i++ {
+				_ = v.ConfigurationID()
+				_, _ = v.ObserversOf(addrs[(g+i)%len(addrs)])
+			}
+		}(g)
+	}
+	writer := make(chan struct{})
+	go func() {
+		defer close(writer)
+		for i := 0; i < 50; i++ {
+			ep := node.Endpoint{Addr: node.Addr(fmt.Sprintf("w%d:1", i)), ID: node.ID{High: 1 << 32, Low: uint64(i + 1)}}
+			if err := v.AddMember(ep); err != nil {
+				t.Error(err)
+				return
+			}
+			_ = v.ConfigurationID()
+			if err := v.RemoveMember(ep.Addr); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+	<-writer
+}
