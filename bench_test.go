@@ -12,11 +12,13 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/graph"
 	"repro/internal/harness"
 	"repro/internal/node"
 	"repro/internal/remoting"
+	"repro/internal/simnet"
 	"repro/internal/view"
 )
 
@@ -282,4 +284,76 @@ func BenchmarkExpanderEigenvalue(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		_ = g.SecondEigenvalue(100, 1)
 	}
+}
+
+// BenchmarkViewChangeUnderChurn measures the end-to-end message cost of one
+// unit of churn — a join followed by a graceful leave — on a 16-member
+// cluster, reporting messages sent per view change. This is the engine's
+// N² hot path: batched alerts and consensus votes share one outbound wire
+// message per batching window, so the metric tracks dissemination cost
+// regressions directly.
+func BenchmarkViewChangeUnderChurn(b *testing.B) {
+	net := simnet.New(simnet.Options{Seed: 99})
+	settings := core.ScaledSettings(100)
+	node.SeedIDGenerator(99)
+	const n = 16
+	seedAddr := node.Addr("bench-seed:9000")
+	seed, err := core.StartCluster(seedAddr, settings, net)
+	if err != nil {
+		b.Fatal(err)
+	}
+	clusters := []*core.Cluster{seed}
+	defer func() {
+		for _, c := range clusters {
+			c.Stop()
+		}
+	}()
+	for i := 1; i < n; i++ {
+		c, err := core.JoinCluster(node.Addr(fmt.Sprintf("bench-m%02d:9000", i)), []node.Addr{seedAddr}, settings, net)
+		if err != nil {
+			b.Fatalf("join %d: %v", i, err)
+		}
+		clusters = append(clusters, c)
+	}
+	waitSizes := func(want int) {
+		deadline := time.Now().Add(60 * time.Second)
+		for time.Now().Before(deadline) {
+			ok := true
+			for _, c := range clusters {
+				if c.Size() != want {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				return
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		b.Fatalf("cluster did not settle at size %d", want)
+	}
+	waitSizes(n)
+
+	b.ResetTimer()
+	startMsgs := net.TotalMessages()
+	startVC := seed.ViewChangeCount()
+	for i := 0; i < b.N; i++ {
+		addr := node.Addr(fmt.Sprintf("bench-churn%04d:9000", i))
+		c, err := core.JoinCluster(addr, []node.Addr{seedAddr}, settings, net)
+		if err != nil {
+			b.Fatalf("churn join: %v", err)
+		}
+		clusters = append(clusters, c)
+		waitSizes(n + 1)
+		c.Leave()
+		waitSizes(n)
+		c.Stop()
+		clusters = clusters[:len(clusters)-1]
+	}
+	b.StopTimer()
+	deltaVC := seed.ViewChangeCount() - startVC
+	if deltaVC > 0 {
+		b.ReportMetric(float64(net.TotalMessages()-startMsgs)/float64(deltaVC), "msgs/viewchange")
+	}
+	b.ReportMetric(float64(deltaVC)/float64(b.N), "viewchanges/op")
 }

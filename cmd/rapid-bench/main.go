@@ -28,7 +28,7 @@ import (
 
 func main() {
 	var (
-		expName = flag.String("exp", "all", "experiment to run (fig1,fig5,fig8,fig9,fig10,table2,fig11,fig12,fig13,eigen,all)")
+		expName = flag.String("exp", "all", "experiment to run (fig1,fig5,fig8,fig9,fig10,table2,fig11,fig12,fig13,broadcast,eigen,all)")
 		scale   = flag.Float64("scale", 50, "time compression factor (50 = 1 paper-second -> 20ms)")
 		n       = flag.Int("n", 60, "cluster size for failure experiments")
 		sizes   = flag.String("sizes", "30,60,100", "comma-separated cluster sizes for bootstrap experiments")
@@ -125,6 +125,16 @@ func main() {
 	if want("fig13") {
 		run("Figure 13: service discovery", func() error {
 			_, err := experiments.RunServiceDiscovery(cfg, 20, 5, 3*time.Second)
+			return err
+		})
+	}
+	if want("broadcast") {
+		run("Broadcast strategy: unicast-to-all vs gossip message cost", func() error {
+			failures := *n / 10
+			if failures < 1 {
+				failures = 1
+			}
+			_, err := experiments.RunBroadcastComparison(cfg, *n, failures, 8)
 			return err
 		})
 	}

@@ -65,53 +65,87 @@ func (b *UnicastToAll) Members() []node.Addr {
 }
 
 // Gossip forwards each broadcast to a random fanout subset of the membership;
-// receivers are expected to re-broadcast (the membership service does this for
-// alert messages). It reduces per-sender cost from O(N) to O(fanout).
+// receivers are expected to re-broadcast (the membership service does this
+// for batched alert/vote messages, deduplicating on per-sender sequence
+// numbers). It reduces per-sender cost from O(N) to O(fanout) per hop.
 type Gossip struct {
 	client transport.Client
+	self   node.Addr
 	fanout int
-	rng    *rand.Rand
-	rngMu  sync.Mutex
+
+	// rngMu guards the rng and the scratch index permutation reused across
+	// Broadcast calls, keeping recipient sampling O(fanout) per call with no
+	// allocation.
+	rngMu   sync.Mutex
+	rng     *rand.Rand
+	scratch []int
 
 	mu      sync.RWMutex
 	members []node.Addr
 }
 
 // NewGossip creates a gossip broadcaster with the given fanout (minimum 1).
-func NewGossip(client transport.Client, fanout int, seed int64) *Gossip {
+// The sender's own address is excluded from recipient sampling: the local
+// process applies its batches directly, so a self-send would only waste a
+// fanout slot.
+func NewGossip(client transport.Client, self node.Addr, fanout int, seed int64) *Gossip {
 	if fanout < 1 {
 		fanout = 1
 	}
-	return &Gossip{client: client, fanout: fanout, rng: rand.New(rand.NewSource(seed))}
+	return &Gossip{client: client, self: self, fanout: fanout, rng: rand.New(rand.NewSource(seed))}
 }
 
-// SetMembership implements Broadcaster.
+// SetMembership implements Broadcaster. The local address is filtered out
+// once here so Broadcast's sampling stays O(fanout).
 func (g *Gossip) SetMembership(members []node.Addr) {
-	copied := make([]node.Addr, len(members))
-	copy(copied, members)
+	copied := make([]node.Addr, 0, len(members))
+	for _, m := range members {
+		if m != g.self {
+			copied = append(copied, m)
+		}
+	}
 	g.mu.Lock()
 	g.members = copied
 	g.mu.Unlock()
 }
 
 // Broadcast implements Broadcaster: the request is sent to `fanout` members
-// chosen uniformly at random (without replacement).
+// chosen uniformly at random (without replacement). Sampling is a partial
+// Fisher-Yates over a reused index slice — starting each call from the
+// previous call's arrangement still yields a uniform subset, because every
+// prefix position is re-drawn — so the cost per call is O(fanout), not O(N).
 func (g *Gossip) Broadcast(req *remoting.Request) {
 	g.mu.RLock()
 	members := g.members
 	g.mu.RUnlock()
-	if len(members) == 0 {
+	n := len(members)
+	if n == 0 {
 		return
 	}
-	g.rngMu.Lock()
-	perm := g.rng.Perm(len(members))
-	g.rngMu.Unlock()
 	count := g.fanout
-	if count > len(members) {
-		count = len(members)
+	if count > n {
+		count = n
+	}
+	var targets [16]node.Addr
+	picks := targets[:0]
+	if count > len(targets) {
+		picks = make([]node.Addr, 0, count)
+	}
+	g.rngMu.Lock()
+	if len(g.scratch) != n {
+		g.scratch = make([]int, n)
+		for i := range g.scratch {
+			g.scratch[i] = i
+		}
 	}
 	for i := 0; i < count; i++ {
-		g.client.SendBestEffort(members[perm[i]], req)
+		j := i + g.rng.Intn(n-i)
+		g.scratch[i], g.scratch[j] = g.scratch[j], g.scratch[i]
+		picks = append(picks, members[g.scratch[i]])
+	}
+	g.rngMu.Unlock()
+	for _, to := range picks {
+		g.client.SendBestEffort(to, req)
 	}
 }
 

@@ -99,7 +99,7 @@ func TestUnicastToAllMembershipReplacedOnViewChange(t *testing.T) {
 
 func TestGossipFanoutRespected(t *testing.T) {
 	cl := &recordingClient{}
-	g := NewGossip(cl, 3, 1)
+	g := NewGossip(cl, "self:0", 3, 1)
 	g.SetMembership(members(10))
 	g.Broadcast(&remoting.Request{})
 	if len(cl.sent()) != 3 {
@@ -109,7 +109,7 @@ func TestGossipFanoutRespected(t *testing.T) {
 
 func TestGossipFanoutLargerThanMembership(t *testing.T) {
 	cl := &recordingClient{}
-	g := NewGossip(cl, 10, 1)
+	g := NewGossip(cl, "self:0", 10, 1)
 	g.SetMembership(members(4))
 	g.Broadcast(&remoting.Request{})
 	if len(cl.sent()) != 4 {
@@ -119,7 +119,7 @@ func TestGossipFanoutLargerThanMembership(t *testing.T) {
 
 func TestGossipMinimumFanout(t *testing.T) {
 	cl := &recordingClient{}
-	g := NewGossip(cl, 0, 1)
+	g := NewGossip(cl, "self:0", 0, 1)
 	g.SetMembership(members(4))
 	g.Broadcast(&remoting.Request{})
 	if len(cl.sent()) != 1 {
@@ -129,7 +129,7 @@ func TestGossipMinimumFanout(t *testing.T) {
 
 func TestGossipEmptyMembership(t *testing.T) {
 	cl := &recordingClient{}
-	g := NewGossip(cl, 3, 1)
+	g := NewGossip(cl, "self:0", 3, 1)
 	g.Broadcast(&remoting.Request{})
 	if len(cl.sent()) != 0 {
 		t.Fatal("gossip with no members should send nothing")
@@ -138,7 +138,7 @@ func TestGossipEmptyMembership(t *testing.T) {
 
 func TestGossipTargetsDistinct(t *testing.T) {
 	cl := &recordingClient{}
-	g := NewGossip(cl, 5, 99)
+	g := NewGossip(cl, "self:0", 5, 99)
 	g.SetMembership(members(20))
 	g.Broadcast(&remoting.Request{})
 	seen := make(map[node.Addr]bool)

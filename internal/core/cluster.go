@@ -3,14 +3,12 @@ package core
 import (
 	"errors"
 	"fmt"
-	"sort"
 	"sync"
-	"time"
+	"sync/atomic"
 
 	"repro/internal/broadcast"
-	"repro/internal/cutdetect"
 	"repro/internal/edgefd"
-	"repro/internal/fastpaxos"
+	"repro/internal/metrics"
 	"repro/internal/node"
 	"repro/internal/remoting"
 	"repro/internal/simclock"
@@ -47,13 +45,29 @@ type ViewChange struct {
 	Changes []StatusChange
 }
 
-// Subscriber receives view-change notifications. Callbacks must not block:
-// they are invoked synchronously on the protocol path.
+// Subscriber receives view-change notifications. Callbacks are invoked in
+// order from a dedicated delivery goroutine, off the protocol path, so they
+// may block without stalling the membership service. A callback already in
+// flight when Stop is called may complete after Stop returns.
 type Subscriber func(ViewChange)
+
+// snapshot is the immutable membership state published by the engine after
+// every view change. Public accessors read the latest snapshot lock-free, so
+// readers only ever observe fully installed configurations.
+type snapshot struct {
+	configID    uint64
+	members     []node.Endpoint // sorted by address; treated as immutable
+	byAddr      map[node.Addr]node.Endpoint
+	viewChanges int
+}
 
 // Cluster is one process' handle on the Rapid membership service. Create one
 // with StartCluster (to bootstrap a new cluster) or JoinCluster (to join an
 // existing one through seed processes).
+//
+// Internally the handle is a thin shell around a single-writer protocol
+// engine (see engine.go): transport handlers enqueue typed events, one
+// goroutine applies them, and the results are published as atomic snapshots.
 type Cluster struct {
 	settings Settings
 	net      transport.Network
@@ -61,22 +75,46 @@ type Cluster struct {
 	clock    simclock.Clock
 	me       node.Endpoint
 
-	mu            sync.Mutex
-	started       bool
-	stopped       bool
-	view          *view.View
-	cd            *cutdetect.Detector
-	consensus     *fastpaxos.FastPaxos
-	broadcaster   *broadcast.UnicastToAll
-	monitors      []edgefd.Monitor
-	pendingAlerts []remoting.AlertMessage
-	alertedEdges  map[node.Addr]bool
-	joinWaiters   map[node.Addr][]chan *remoting.JoinResponse
-	subscribers   []Subscriber
-	viewChanges   int
+	// unicast always addresses the full membership; broadcaster is the
+	// Settings-selected strategy for batched alerts and votes (it aliases
+	// unicast unless gossip is configured).
+	unicast     *broadcast.UnicastToAll
+	broadcaster broadcast.Broadcaster
 
-	stopCh chan struct{}
-	wg     sync.WaitGroup
+	events   chan event
+	stopCh   chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+
+	started atomic.Bool
+	snap    atomic.Pointer[snapshot]
+
+	notifier  *notifier
+	monitorCh chan []node.Addr
+
+	emetrics EngineMetrics
+}
+
+// EngineMetrics instruments the protocol engine. The event queue depth is
+// not a stored metric: Stats() reads it live from the queue itself.
+type EngineMetrics struct {
+	// EventsProcessed counts events applied by the engine goroutine.
+	EventsProcessed metrics.Counter
+	// BatchesSent counts flushed outbound batches.
+	BatchesSent metrics.Counter
+	// BatchSizes aggregates alerts+votes per flushed batch.
+	BatchSizes metrics.Distribution
+	// GossipDuplicates counts batches dropped by gossip deduplication.
+	GossipDuplicates metrics.Counter
+}
+
+// EngineStats is a point-in-time summary of the engine metrics.
+type EngineStats struct {
+	QueueDepth       int
+	EventsProcessed  int64
+	BatchesSent      int64
+	BatchSizes       metrics.DistributionSummary
+	GossipDuplicates int64
 }
 
 // StartCluster bootstraps a brand-new cluster consisting of just this
@@ -125,48 +163,63 @@ func newCluster(addr node.Addr, settings Settings, net transport.Network) (*Clus
 	}
 	client := net.Client(addr)
 	c := &Cluster{
-		settings:     settings,
-		net:          net,
-		client:       client,
-		clock:        settings.Clock,
-		me:           me,
-		broadcaster:  broadcast.NewUnicastToAll(client),
-		alertedEdges: make(map[node.Addr]bool),
-		joinWaiters:  make(map[node.Addr][]chan *remoting.JoinResponse),
-		stopCh:       make(chan struct{}),
+		settings:  settings,
+		net:       net,
+		client:    client,
+		clock:     settings.Clock,
+		me:        me,
+		unicast:   broadcast.NewUnicastToAll(client),
+		events:    make(chan event, settings.EventQueueSize),
+		stopCh:    make(chan struct{}),
+		notifier:  newNotifier(),
+		monitorCh: make(chan []node.Addr, 1),
+	}
+	switch settings.Broadcast {
+	case BroadcastGossip:
+		c.broadcaster = broadcast.NewGossip(client, me.Addr, settings.GossipFanout, int64(me.ID.Low))
+	default:
+		c.broadcaster = c.unicast
 	}
 	return c, nil
 }
 
-// initialize installs the first configuration and starts background work.
+// initialize installs the first configuration and starts the engine, the
+// monitor manager and the subscriber delivery goroutine. The engine
+// goroutine publishes the initial monitor subject set itself, keeping all
+// subject updates ordered.
 func (c *Cluster) initialize(members []node.Endpoint) {
-	c.mu.Lock()
-	c.view = view.NewWithMembers(c.settings.K, members)
-	c.cd = cutdetect.New(c.settings.K, c.settings.H, c.settings.L)
-	c.broadcaster.SetMembership(c.view.MemberAddrs())
-	c.consensus = c.newConsensusLocked()
-	c.started = true
-	c.mu.Unlock()
-
-	c.restartMonitors()
+	e := newEngine(c, members)
+	c.started.Store(true)
 	c.wg.Add(2)
-	go c.alertBatchingLoop()
-	go c.reinforcementLoop()
+	go e.run()
+	go c.monitorManager()
+	go c.notifier.run()
 }
 
-// newConsensusLocked builds the consensus instance for the current view.
-// Callers must hold c.mu.
-func (c *Cluster) newConsensusLocked() *fastpaxos.FastPaxos {
-	members := c.view.MemberAddrs()
-	myIndex := sort.Search(len(members), func(i int) bool { return members[i] >= c.me.Addr })
-	return fastpaxos.New(fastpaxos.Config{
-		MyAddr:          c.me.Addr,
-		MyIndex:         myIndex,
-		MembershipSize:  c.view.Size(),
-		ConfigurationID: c.view.ConfigurationID(),
-		Client:          c.client,
-		Broadcaster:     c.broadcaster,
-		OnDecide:        c.onDecide,
+// enqueue submits an event to the engine, blocking if the queue is full
+// (backpressure). It returns false if the cluster stopped instead.
+func (c *Cluster) enqueue(ev event) bool {
+	select {
+	case c.events <- ev:
+		return true
+	case <-c.stopCh:
+		return false
+	}
+}
+
+// publishSnapshot installs the membership state readers see. Called by the
+// engine goroutine only (and once during construction).
+func (c *Cluster) publishSnapshot(v *view.View, viewChanges int) {
+	members := v.Members()
+	byAddr := make(map[node.Addr]node.Endpoint, len(members))
+	for _, ep := range members {
+		byAddr[ep.Addr] = ep
+	}
+	c.snap.Store(&snapshot{
+		configID:    v.ConfigurationID(),
+		members:     members,
+		byAddr:      byAddr,
+		viewChanges: viewChanges,
 	})
 }
 
@@ -180,268 +233,234 @@ func (c *Cluster) ID() node.ID { return c.me.ID }
 
 // Size returns the number of members in the current configuration.
 func (c *Cluster) Size() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.view == nil {
-		return 0
+	if s := c.snap.Load(); s != nil {
+		return len(s.members)
 	}
-	return c.view.Size()
+	return 0
 }
 
 // Members returns the endpoints of the current configuration sorted by address.
 func (c *Cluster) Members() []node.Endpoint {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.view == nil {
+	s := c.snap.Load()
+	if s == nil {
 		return nil
 	}
-	return c.view.Members()
+	return append([]node.Endpoint(nil), s.members...)
 }
 
 // ConfigurationID returns the identifier of the current configuration.
 func (c *Cluster) ConfigurationID() uint64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.view == nil {
-		return 0
+	if s := c.snap.Load(); s != nil {
+		return s.configID
 	}
-	return c.view.ConfigurationID()
+	return 0
 }
 
 // IsMember reports whether this process is part of its own current view.
 // It becomes false if the rest of the cluster removed this process.
 func (c *Cluster) IsMember() bool {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.view != nil && c.view.Contains(c.me.Addr)
+	s := c.snap.Load()
+	if s == nil {
+		return false
+	}
+	_, ok := s.byAddr[c.me.Addr]
+	return ok
 }
 
 // ViewChangeCount returns how many view changes this handle has applied.
 func (c *Cluster) ViewChangeCount() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.viewChanges
+	if s := c.snap.Load(); s != nil {
+		return s.viewChanges
+	}
+	return 0
 }
 
 // Metadata returns the metadata registered for the given member address.
 func (c *Cluster) Metadata(addr node.Addr) (map[string]string, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.view == nil {
+	s := c.snap.Load()
+	if s == nil {
 		return nil, false
 	}
-	ep, ok := c.view.Member(addr)
+	ep, ok := s.byAddr[addr]
 	if !ok {
 		return nil, false
 	}
 	return ep.Metadata, true
 }
 
+// Stats returns a point-in-time summary of the engine instrumentation.
+func (c *Cluster) Stats() EngineStats {
+	return EngineStats{
+		QueueDepth:       len(c.events),
+		EventsProcessed:  c.emetrics.EventsProcessed.Value(),
+		BatchesSent:      c.emetrics.BatchesSent.Value(),
+		BatchSizes:       c.emetrics.BatchSizes.Summary(),
+		GossipDuplicates: c.emetrics.GossipDuplicates.Value(),
+	}
+}
+
+// Metrics exposes the live engine instrumentation.
+func (c *Cluster) Metrics() *EngineMetrics { return &c.emetrics }
+
 // Subscribe registers a view-change callback. It is invoked for every
 // configuration change applied after registration.
-func (c *Cluster) Subscribe(cb Subscriber) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.subscribers = append(c.subscribers, cb)
-}
+func (c *Cluster) Subscribe(cb Subscriber) { c.notifier.subscribe(cb) }
 
 // Leave announces a graceful departure: observers of this process convert the
 // announcement into REMOVE alerts so a coordinated view change removes it.
 // The handle keeps serving protocol messages until Stop is called.
 func (c *Cluster) Leave() {
-	c.mu.Lock()
-	started := c.started
-	c.mu.Unlock()
-	if !started {
+	if !c.started.Load() {
 		return
 	}
-	c.broadcaster.Broadcast(&remoting.Request{Leave: &remoting.LeaveMessage{Sender: c.me.Addr}})
+	// Leave always unicasts to the full membership: it must reach every
+	// observer of the leaver regardless of the gossip fanout.
+	c.unicast.Broadcast(&remoting.Request{Leave: &remoting.LeaveMessage{Sender: c.me.Addr}})
 }
 
 // Stop halts all background work and deregisters from the transport. The
-// handle cannot be restarted.
+// handle cannot be restarted. Undelivered view-change notifications are
+// discarded; at most one subscriber callback that was already executing when
+// Stop was called may still complete after Stop returns.
 func (c *Cluster) Stop() {
-	c.mu.Lock()
-	if c.stopped {
-		c.mu.Unlock()
-		return
-	}
-	c.stopped = true
-	monitors := c.monitors
-	c.monitors = nil
-	c.mu.Unlock()
-
-	close(c.stopCh)
-	for _, m := range monitors {
-		m.Stop()
-	}
-	c.wg.Wait()
-	c.net.Deregister(c.me.Addr)
-}
-
-// restartMonitors replaces the edge failure detectors with ones for the
-// current set of subjects. Old monitors are stopped outside the lock because
-// their callbacks acquire it.
-func (c *Cluster) restartMonitors() {
-	c.mu.Lock()
-	old := c.monitors
-	c.monitors = nil
-	var subjects []node.Addr
-	if c.started && !c.stopped && c.view.Contains(c.me.Addr) {
-		subjects, _ = c.view.UniqueSubjectsOf(c.me.Addr)
-	}
-	factory := c.settings.FailureDetector
-	var fresh []edgefd.Monitor
-	for _, s := range subjects {
-		m := factory(edgefd.Params{
-			Observer:  c.me.Addr,
-			Subject:   s,
-			Client:    c.client,
-			Clock:     c.clock,
-			Interval:  c.settings.ProbeInterval,
-			Timeout:   c.settings.ProbeTimeout,
-			OnFailure: c.onSubjectFailed,
-		})
-		fresh = append(fresh, m)
-	}
-	c.monitors = fresh
-	c.mu.Unlock()
-
-	for _, m := range old {
-		m.Stop()
-	}
-	for _, m := range fresh {
-		m.Start()
-	}
-}
-
-// onSubjectFailed converts an edge failure detector verdict into an
-// irrevocable REMOVE alert (enqueued for the next batch).
-func (c *Cluster) onSubjectFailed(subject node.Addr) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if !c.started || c.stopped || !c.view.Contains(subject) {
-		return
-	}
-	if c.alertedEdges[subject] {
-		return
-	}
-	rings := c.view.RingNumbers(c.me.Addr, subject)
-	if len(rings) == 0 {
-		return
-	}
-	c.alertedEdges[subject] = true
-	c.enqueueAlertLocked(remoting.AlertMessage{
-		EdgeSrc:         c.me.Addr,
-		EdgeDst:         subject,
-		Status:          remoting.EdgeDown,
-		ConfigurationID: c.view.ConfigurationID(),
-		RingNumbers:     rings,
+	c.stopOnce.Do(func() {
+		close(c.stopCh)
+		c.wg.Wait()
+		c.notifier.stop()
+		c.net.Deregister(c.me.Addr)
 	})
 }
 
-// enqueueAlertLocked buffers an alert for the next batch broadcast.
-// Callers must hold c.mu.
-func (c *Cluster) enqueueAlertLocked(alert remoting.AlertMessage) {
-	c.pendingAlerts = append(c.pendingAlerts, alert)
+// --- monitor manager ---------------------------------------------------------
+
+// setMonitorSubjects hands the latest subject set to the monitor manager
+// without ever blocking the engine: a stale pending update is replaced.
+func (c *Cluster) setMonitorSubjects(subjects []node.Addr) {
+	for {
+		select {
+		case c.monitorCh <- subjects:
+			return
+		case <-c.stopCh:
+			return
+		default:
+		}
+		select {
+		case <-c.monitorCh:
+		default:
+		}
+	}
 }
 
-// alertBatchingLoop flushes buffered alerts every BatchingWindow (§6).
-func (c *Cluster) alertBatchingLoop() {
+// monitorManager owns the edge failure-detector monitors. It swaps them when
+// the engine publishes a new subject set; stopping old monitors can block on
+// in-flight probes, which is why this runs off the engine goroutine.
+func (c *Cluster) monitorManager() {
 	defer c.wg.Done()
+	var current []edgefd.Monitor
+	stopAll := func(ms []edgefd.Monitor) {
+		for _, m := range ms {
+			m.Stop()
+		}
+	}
 	for {
 		select {
 		case <-c.stopCh:
+			stopAll(current)
 			return
-		case <-c.clock.After(c.settings.BatchingWindow):
+		case subjects := <-c.monitorCh:
+			stopAll(current)
+			current = current[:0]
+			factory := c.settings.FailureDetector
+			for _, s := range subjects {
+				m := factory(edgefd.Params{
+					Observer:  c.me.Addr,
+					Subject:   s,
+					Client:    c.client,
+					Clock:     c.clock,
+					Interval:  c.settings.ProbeInterval,
+					Timeout:   c.settings.ProbeTimeout,
+					OnFailure: c.onSubjectFailed,
+				})
+				current = append(current, m)
+			}
+			for _, m := range current {
+				m.Start()
+			}
 		}
-		c.mu.Lock()
-		alerts := c.pendingAlerts
-		c.pendingAlerts = nil
-		c.mu.Unlock()
-		if len(alerts) == 0 {
-			continue
-		}
-		c.broadcaster.Broadcast(&remoting.Request{Alerts: &remoting.BatchedAlertMessage{
-			Sender: c.me.Addr,
-			Alerts: alerts,
-		}})
 	}
 }
 
-// reinforcementLoop echoes REMOVE alerts for subjects stuck in the unstable
-// report region longer than ReinforcementTimeout (§4.2, liveness).
-func (c *Cluster) reinforcementLoop() {
-	defer c.wg.Done()
+// onSubjectFailed forwards an edge failure detector verdict to the engine.
+func (c *Cluster) onSubjectFailed(subject node.Addr) {
+	c.enqueue(event{subjectDown: subject})
+}
+
+// --- subscriber delivery -----------------------------------------------------
+
+// notifier delivers view changes to subscribers in order from a dedicated
+// goroutine, decoupling callbacks from the protocol engine so they can block
+// safely.
+type notifier struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []ViewChange
+	subs    []Subscriber
+	stopped bool
+}
+
+func newNotifier() *notifier {
+	n := &notifier{}
+	n.cond = sync.NewCond(&n.mu)
+	return n
+}
+
+// subscribe registers a callback for subsequent view changes.
+func (n *notifier) subscribe(cb Subscriber) {
+	n.mu.Lock()
+	n.subs = append(n.subs, cb)
+	n.mu.Unlock()
+}
+
+// publish enqueues a view change for delivery. It never blocks.
+func (n *notifier) publish(vc ViewChange) {
+	n.mu.Lock()
+	n.queue = append(n.queue, vc)
+	n.mu.Unlock()
+	n.cond.Signal()
+}
+
+// stop discards undelivered view changes and lets the delivery goroutine
+// exit. After stop returns, no new callback starts; at most the single
+// callback already in flight keeps running (it may itself call Stop, so
+// joining it here would deadlock).
+func (n *notifier) stop() {
+	n.mu.Lock()
+	n.stopped = true
+	n.queue = nil
+	n.mu.Unlock()
+	n.cond.Signal()
+}
+
+// run is the delivery loop. Callbacks run outside the lock, in publication
+// order.
+func (n *notifier) run() {
 	for {
-		select {
-		case <-c.stopCh:
+		n.mu.Lock()
+		for len(n.queue) == 0 && !n.stopped {
+			n.cond.Wait()
+		}
+		if len(n.queue) == 0 && n.stopped {
+			n.mu.Unlock()
 			return
-		case <-c.clock.After(c.settings.ReinforcementTick):
 		}
-		c.mu.Lock()
-		if !c.started || c.stopped {
-			c.mu.Unlock()
-			continue
+		vc := n.queue[0]
+		n.queue = n.queue[1:]
+		subs := append([]Subscriber(nil), n.subs...)
+		n.mu.Unlock()
+		for _, cb := range subs {
+			cb(vc)
 		}
-		stuck := c.cd.UnstableLongerThan(c.clock.Now(), c.settings.ReinforcementTimeout)
-		for _, subject := range stuck {
-			if !c.view.Contains(subject) || c.alertedEdges[subject] {
-				continue
-			}
-			rings := c.view.RingNumbers(c.me.Addr, subject)
-			if len(rings) == 0 {
-				continue
-			}
-			c.alertedEdges[subject] = true
-			c.enqueueAlertLocked(remoting.AlertMessage{
-				EdgeSrc:         c.me.Addr,
-				EdgeDst:         subject,
-				Status:          remoting.EdgeDown,
-				ConfigurationID: c.view.ConfigurationID(),
-				RingNumbers:     rings,
-			})
-		}
-		c.mu.Unlock()
 	}
-}
-
-// scheduleFallback arms the classical-Paxos fallback for the given consensus
-// instance: if it has not decided within the base delay plus a per-node
-// jitter, this node starts (and keeps retrying) recovery rounds.
-func (c *Cluster) scheduleFallback(cons *fastpaxos.FastPaxos, myIndex, membershipSize int) {
-	base := c.settings.ConsensusFallbackBase
-	jitterSteps := 1
-	if membershipSize > 0 {
-		jitterSteps = myIndex % 8
-	}
-	delay := base + time.Duration(jitterSteps)*base/8
-	c.mu.Lock()
-	if c.stopped {
-		c.mu.Unlock()
-		return
-	}
-	c.wg.Add(1)
-	c.mu.Unlock()
-	go func() {
-		defer c.wg.Done()
-		select {
-		case <-c.stopCh:
-			return
-		case <-c.clock.After(delay):
-		}
-		for round := 0; round < 8; round++ {
-			if cons.Decided() {
-				return
-			}
-			cons.StartClassicalRound()
-			select {
-			case <-c.stopCh:
-				return
-			case <-c.clock.After(base):
-			}
-		}
-	}()
 }
 
 var _ transport.Handler = (*Cluster)(nil)

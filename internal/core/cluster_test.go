@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -473,5 +474,134 @@ func TestStopIsIdempotentAndHaltsService(t *testing.T) {
 	c.Stop()
 	if net.Registered("solo:1") {
 		t.Fatal("Stop should deregister the node from the transport")
+	}
+}
+
+func TestGossipBroadcastModeConverges(t *testing.T) {
+	// The gossip broadcaster is selected through Settings; receivers must
+	// re-broadcast unseen batches so alerts and votes flood the membership.
+	net := simnet.New(simnet.Options{Seed: 12})
+	settings := testSettings()
+	settings.Broadcast = BroadcastGossip
+	settings.GossipFanout = 4
+	const n = 8
+	clusters := startCluster(t, net, n, settings)
+	defer stopAll(clusters)
+
+	// A crash must still be detected and removed with gossip dissemination.
+	net.Crash(clusters[n-1].Addr())
+	survivors := clusters[:n-1]
+	if !waitUntil(t, 30*time.Second, func() bool {
+		for _, c := range survivors {
+			if c.Size() != n-1 {
+				return false
+			}
+		}
+		return true
+	}) {
+		sizes := []int{}
+		for _, c := range survivors {
+			sizes = append(sizes, c.Size())
+		}
+		t.Fatalf("gossip-mode cluster did not remove the crashed node: sizes=%v", sizes)
+	}
+	configID := survivors[0].ConfigurationID()
+	for _, c := range survivors {
+		if c.ConfigurationID() != configID {
+			t.Fatal("gossip-mode survivors disagree on the configuration")
+		}
+	}
+	// Flooding means every batch is forwarded by every receiver, so the
+	// dedup path must have absorbed duplicates somewhere in the run.
+	var dups int64
+	for _, c := range survivors {
+		dups += c.Stats().GossipDuplicates
+	}
+	if dups == 0 {
+		t.Error("expected gossip re-broadcast to produce deduplicated duplicates")
+	}
+}
+
+func TestUnknownBroadcastModeRejected(t *testing.T) {
+	net := simnet.New(simnet.Options{Seed: 13})
+	bad := testSettings()
+	bad.Broadcast = "carrier-pigeon"
+	if _, err := StartCluster("seed:1", bad, net); err == nil {
+		t.Fatal("unknown broadcast mode should be rejected")
+	}
+}
+
+func TestFastRoundVotesTravelBatched(t *testing.T) {
+	// Consensus fast-round votes must share the batched outbound path with
+	// alerts: no standalone fastround messages on the wire.
+	net := simnet.New(simnet.Options{Seed: 14})
+	clusters := startCluster(t, net, 5, testSettings())
+	defer stopAll(clusters)
+
+	if got := net.MessageCount("fastround"); got != 0 {
+		t.Errorf("%d standalone fast-round messages sent; votes should ride the batch", got)
+	}
+	batched := net.MessageCount("votebatch") + net.MessageCount("alerts+votes")
+	if batched == 0 {
+		t.Error("no batched vote messages observed during view changes")
+	}
+}
+
+func TestEngineStats(t *testing.T) {
+	net := simnet.New(simnet.Options{Seed: 15})
+	clusters := startCluster(t, net, 4, testSettings())
+	defer stopAll(clusters)
+
+	stats := clusters[0].Stats()
+	if stats.EventsProcessed == 0 {
+		t.Error("engine processed no events despite three joins")
+	}
+	if stats.BatchesSent == 0 || stats.BatchSizes.Count == 0 {
+		t.Errorf("no outbound batches recorded: %+v", stats)
+	}
+	if stats.BatchSizes.Mean <= 0 || stats.BatchSizes.Max <= 0 {
+		t.Errorf("batch size aggregates not recorded: %+v", stats.BatchSizes)
+	}
+	if stats.QueueDepth < 0 || stats.QueueDepth > 1024 {
+		t.Errorf("implausible queue depth %d", stats.QueueDepth)
+	}
+}
+
+func TestSubscriberMayBlockWithoutStallingProtocol(t *testing.T) {
+	// Subscribers run on a dedicated delivery goroutine: a callback that
+	// blocks must not prevent further view changes from being applied.
+	net := simnet.New(simnet.Options{Seed: 16})
+	settings := testSettings()
+	node.SeedIDGenerator(16)
+	seed, err := StartCluster(addr(0), settings, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	release := make(chan struct{})
+	var delivered atomic.Int32
+	seed.Subscribe(func(vc ViewChange) {
+		delivered.Add(1)
+		<-release
+	})
+	var clusters []*Cluster
+	clusters = append(clusters, seed)
+	defer func() {
+		close(release)
+		stopAll(clusters)
+	}()
+	// Two joins: the first delivery blocks in the subscriber, yet the second
+	// view change must still be installed by the engine.
+	for i := 1; i <= 2; i++ {
+		c, err := JoinCluster(addr(i), []node.Addr{addr(0)}, settings, net)
+		if err != nil {
+			t.Fatalf("join %d: %v", i, err)
+		}
+		clusters = append(clusters, c)
+	}
+	if !waitUntil(t, 20*time.Second, func() bool { return seed.Size() == 3 }) {
+		t.Fatalf("view changes stalled behind a blocking subscriber: size=%d", seed.Size())
+	}
+	if delivered.Load() != 1 {
+		t.Errorf("expected exactly one in-flight delivery while blocked, got %d", delivered.Load())
 	}
 }

@@ -1,0 +1,700 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/cutdetect"
+	"repro/internal/fastpaxos"
+	"repro/internal/node"
+	"repro/internal/remoting"
+	"repro/internal/view"
+)
+
+// This file implements the cluster's single-writer protocol engine. One
+// goroutine — the engine loop — owns every piece of per-configuration
+// protocol state: the K-ring view, the multi-process cut detector, the
+// consensus instance, the pending join waiters, and the outbound batch. All
+// protocol inputs (batched alerts, consensus messages, failure-detector
+// verdicts, join and leave requests, timer ticks) arrive as typed events on
+// one queue and are applied sequentially, so no mutex guards protocol state
+// and the N² message path never contends on a lock. Transport handlers are
+// thin enqueuers; see handlers.go.
+
+// event is the union of everything the engine consumes. At most one group of
+// fields is set per event. A flat struct (rather than an interface) keeps the
+// hot path — inbound batches and consensus votes — allocation-free.
+type event struct {
+	// raw is the original request for batch events, retained so gossip mode
+	// can re-broadcast it unchanged.
+	raw   *remoting.Request
+	batch *remoting.BatchedAlertMessage
+	votes *remoting.FastRoundVoteBatch
+	// network is true when the batch arrived from the transport (as opposed
+	// to the engine delivering its own flush to itself in gossip mode).
+	network bool
+
+	fastRound *remoting.FastRoundPhase2b
+	p1a       *remoting.Phase1a
+	p1b       *remoting.Phase1b
+	p2a       *remoting.Phase2a
+	p2b       *remoting.Phase2b
+	leave     *remoting.LeaveMessage
+
+	preJoin     *preJoinEvent
+	join        *joinEvent
+	subjectDown node.Addr
+	// fallback asks the engine to start a classical recovery round for the
+	// given consensus instance, if it is still current and undecided.
+	fallback *fastpaxos.FastPaxos
+}
+
+// preJoinEvent carries a phase-1 join request and its reply channel.
+type preJoinEvent struct {
+	msg   *remoting.PreJoinRequest
+	reply chan *remoting.PreJoinResponse
+}
+
+// joinEvent carries a phase-2 join request and its reply channel. The engine
+// either replies immediately (non-OK statuses and retries) or parks the
+// channel with the join waiters until the admitting view change.
+type joinEvent struct {
+	msg   *remoting.JoinRequest
+	reply chan *remoting.JoinResponse
+	// refiles counts how many view changes re-filed this waiter's JOIN
+	// alert; bounded by maxJoinRefiles.
+	refiles int
+}
+
+// maxJoinRefiles bounds how many successive view changes may re-file a
+// parked joiner's JOIN alert. The re-file keeps a join storm from burning
+// the joiner's retry attempts, but an unbounded loop could keep admitting a
+// joiner that crashed or gave up (a ghost member the failure detectors then
+// have to evict); after the cap the joiner is sent back to phase 1.
+const maxJoinRefiles = 3
+
+// batchKey identifies one flushed outbound batch for gossip deduplication.
+type batchKey struct {
+	origin node.Addr
+	seq    uint64
+}
+
+// engine is the single-writer owner of all protocol state. Only the run
+// goroutine touches these fields after initialization.
+type engine struct {
+	c *Cluster
+
+	view      *view.View
+	cd        *cutdetect.Detector
+	consensus *fastpaxos.FastPaxos
+
+	alertedEdges map[node.Addr]bool
+	// joinWaiters parks phase-2 join requests until a view change admits the
+	// joiner. The full request is retained so the JOIN alert can be re-filed
+	// under the next configuration if a view change races past the joiner.
+	joinWaiters map[node.Addr][]*joinEvent
+	viewChanges int
+
+	// Unified outbound batch: alerts and fast-round votes generated within
+	// one batching window leave as a single wire message on the next flush.
+	pendingAlerts []remoting.AlertMessage
+	pendingVotes  []remoting.FastRoundPhase2b
+	outSeq        uint64
+
+	// seenBatches deduplicates gossip-forwarded batches per configuration.
+	seenBatches map[batchKey]bool
+	// rumors are batches this process still re-gossips on upcoming batch
+	// ticks (push gossip needs multiple rounds for whp coverage).
+	rumors []rumor
+}
+
+// rumor is one batch awaiting further gossip rounds.
+type rumor struct {
+	req       *remoting.Request
+	remaining int
+}
+
+// maxRumors bounds the re-gossip buffer; under extreme churn the oldest
+// rumors are dropped first (their content is also the most likely to be
+// superseded or already delivered).
+const maxRumors = 256
+
+// maxSeenBatches bounds the gossip dedup set. (origin, seq) keys are never
+// reused, so the set only needs to cover batches that may still circulate; a
+// full reset merely risks one extra round of config-filtered re-gossip.
+const maxSeenBatches = 8192
+
+// newEngine builds the engine state for the first configuration. It runs on
+// the caller's goroutine; the run loop takes sole ownership afterwards.
+func newEngine(c *Cluster, members []node.Endpoint) *engine {
+	e := &engine{
+		c:            c,
+		view:         view.NewWithMembers(c.settings.K, members),
+		cd:           cutdetect.New(c.settings.K, c.settings.H, c.settings.L),
+		alertedEdges: make(map[node.Addr]bool),
+		joinWaiters:  make(map[node.Addr][]*joinEvent),
+		seenBatches:  make(map[batchKey]bool),
+		// Seed the batch sequence from this instance's unique logical ID: a
+		// process that restarts and rejoins under the same address must not
+		// collide with (address, seq) dedup entries its previous incarnation
+		// left behind on long-lived members.
+		outSeq: c.me.ID.Low,
+	}
+	addrs := e.view.MemberAddrs()
+	c.unicast.SetMembership(addrs)
+	if c.broadcaster != c.unicast {
+		c.broadcaster.SetMembership(addrs)
+	}
+	e.consensus = e.newConsensus()
+	c.publishSnapshot(e.view, e.viewChanges)
+	return e
+}
+
+// run is the engine loop: the only goroutine that mutates protocol state.
+func (e *engine) run() {
+	c := e.c
+	defer c.wg.Done()
+	// The initial monitor subject set is published from this goroutine so
+	// that it is ordered before any view change's update: publishing it from
+	// the initializer could overwrite a newer set with the stale initial one.
+	c.setMonitorSubjects(e.currentSubjects())
+	flush := c.clock.Ticker(c.settings.BatchingWindow)
+	defer flush.Stop()
+	reinforce := c.clock.Ticker(c.settings.ReinforcementTick)
+	defer reinforce.Stop()
+	for {
+		select {
+		case <-c.stopCh:
+			return
+		case ev := <-c.events:
+			e.dispatch(ev)
+			c.emetrics.EventsProcessed.Add(1)
+		case <-flush.C():
+			// Rumors first: a batch flushed this tick had its first push
+			// inside flushOutbox, so its next round belongs to the next tick.
+			e.regossip()
+			e.flushOutbox()
+		case <-reinforce.C():
+			e.reinforce()
+		}
+	}
+}
+
+// dispatch routes one event to its handler.
+func (e *engine) dispatch(ev event) {
+	switch {
+	case ev.batch != nil || ev.votes != nil:
+		e.handleBatch(ev)
+	case ev.fastRound != nil:
+		e.consensus.HandleFastRoundVote(ev.fastRound)
+	case ev.p1a != nil:
+		e.consensus.HandlePhase1a(ev.p1a)
+	case ev.p1b != nil:
+		e.consensus.HandlePhase1b(ev.p1b)
+	case ev.p2a != nil:
+		e.consensus.HandlePhase2a(ev.p2a)
+	case ev.p2b != nil:
+		e.consensus.HandlePhase2b(ev.p2b)
+	case ev.leave != nil:
+		e.handleLeave(ev.leave)
+	case ev.preJoin != nil:
+		e.handlePreJoin(ev.preJoin)
+	case ev.join != nil:
+		e.handleJoinPhase2(ev.join)
+	case ev.subjectDown != "":
+		e.handleSubjectFailed(ev.subjectDown)
+	case ev.fallback != nil:
+		e.handleFallback(ev.fallback)
+	}
+}
+
+// newConsensus builds the consensus instance for the current view. Votes are
+// routed into the unified outbound batch; the classical recovery path
+// broadcasts directly via unicast-to-all so it needs no gossip cooperation.
+func (e *engine) newConsensus() *fastpaxos.FastPaxos {
+	c := e.c
+	members := e.view.MemberAddrs()
+	myIndex := sort.Search(len(members), func(i int) bool { return members[i] >= c.me.Addr })
+	return fastpaxos.New(fastpaxos.Config{
+		MyAddr:          c.me.Addr,
+		MyIndex:         myIndex,
+		MembershipSize:  e.view.Size(),
+		ConfigurationID: e.view.ConfigurationID(),
+		Client:          c.client,
+		Broadcaster:     c.unicast,
+		VoteSink:        e.addVote,
+		OnDecide:        e.applyDecision,
+	})
+}
+
+// --- outbound batching -------------------------------------------------------
+
+// addAlert buffers an alert for the next flush.
+func (e *engine) addAlert(alert remoting.AlertMessage) {
+	e.pendingAlerts = append(e.pendingAlerts, alert)
+}
+
+// addVote buffers this process' fast-round vote for the next flush. It is the
+// consensus VoteSink and only ever runs on the engine goroutine (consensus
+// methods are invoked exclusively from dispatch).
+func (e *engine) addVote(vote *remoting.FastRoundPhase2b) {
+	if vote.ConfigurationID != e.view.ConfigurationID() {
+		return
+	}
+	e.pendingVotes = append(e.pendingVotes, *vote)
+}
+
+// flushOutbox sends everything buffered during the last batching window as
+// one wire message (§6, extended to consensus votes).
+func (e *engine) flushOutbox() {
+	if len(e.pendingAlerts) == 0 && len(e.pendingVotes) == 0 {
+		return
+	}
+	c := e.c
+	e.outSeq++
+	req := &remoting.Request{}
+	if len(e.pendingAlerts) > 0 {
+		req.Alerts = &remoting.BatchedAlertMessage{Sender: c.me.Addr, Seq: e.outSeq, Alerts: e.pendingAlerts}
+	}
+	if len(e.pendingVotes) > 0 {
+		req.VoteBatch = &remoting.FastRoundVoteBatch{Sender: c.me.Addr, Seq: e.outSeq, Votes: e.pendingVotes}
+	}
+	c.emetrics.BatchSizes.Observe(float64(len(e.pendingAlerts) + len(e.pendingVotes)))
+	c.emetrics.BatchesSent.Add(1)
+	e.pendingAlerts = nil
+	e.pendingVotes = nil
+
+	if c.settings.Broadcast == BroadcastGossip {
+		// Gossip reaches a random fanout subset, so the sender cannot rely on
+		// the network echoing the batch back: mark it seen and apply it
+		// locally, then let the membership flood it.
+		e.seenBatches[batchKey{origin: c.me.Addr, seq: e.outSeq}] = true
+		c.broadcaster.Broadcast(req)
+		e.addRumor(req)
+		e.handleBatch(event{raw: req, batch: req.Alerts, votes: req.VoteBatch})
+		return
+	}
+	// Unicast-to-all includes this process, so the batch comes back through
+	// the transport like everyone else's.
+	c.broadcaster.Broadcast(req)
+}
+
+// addRumor queues a batch for further gossip rounds on upcoming batch ticks.
+func (e *engine) addRumor(req *remoting.Request) {
+	remaining := e.c.settings.GossipRounds - 1
+	if remaining <= 0 {
+		return
+	}
+	if len(e.rumors) >= maxRumors {
+		e.rumors = e.rumors[1:]
+	}
+	e.rumors = append(e.rumors, rumor{req: req, remaining: remaining})
+}
+
+// regossip pushes every buffered rumor to a fresh random fanout subset. Runs
+// on each batch tick in gossip mode.
+func (e *engine) regossip() {
+	if len(e.rumors) == 0 {
+		return
+	}
+	kept := e.rumors[:0]
+	for _, r := range e.rumors {
+		e.c.broadcaster.Broadcast(r.req)
+		if r.remaining--; r.remaining > 0 {
+			kept = append(kept, r)
+		}
+	}
+	e.rumors = kept
+}
+
+// --- inbound protocol events -------------------------------------------------
+
+// handleBatch applies one unified batch: gossip bookkeeping first, then
+// alerts through cut detection (possibly casting this process' vote), then
+// the batched fast-round votes.
+func (e *engine) handleBatch(ev event) {
+	c := e.c
+	// Dedup and re-broadcast only exist for gossip: unicast-to-all delivers
+	// each batch exactly once, so the default mode skips the bookkeeping on
+	// its hot path entirely.
+	if ev.network && c.settings.Broadcast == BroadcastGossip {
+		key := batchKey{}
+		if ev.batch != nil {
+			key = batchKey{origin: ev.batch.Sender, seq: ev.batch.Seq}
+		} else {
+			key = batchKey{origin: ev.votes.Sender, seq: ev.votes.Seq}
+		}
+		if e.seenBatches[key] {
+			c.emetrics.GossipDuplicates.Add(1)
+			return
+		}
+		if len(e.seenBatches) >= maxSeenBatches {
+			e.seenBatches = make(map[batchKey]bool)
+		}
+		e.seenBatches[key] = true
+		if ev.raw != nil {
+			// Re-broadcast unseen batches so gossip floods the membership,
+			// as the broadcast package's contract requires, and keep pushing
+			// them for the remaining gossip rounds.
+			c.broadcaster.Broadcast(ev.raw)
+			e.addRumor(ev.raw)
+		}
+	}
+	if ev.batch != nil {
+		e.handleAlerts(ev.batch)
+	}
+	if ev.votes != nil {
+		for i := range ev.votes.Votes {
+			e.consensus.HandleFastRoundVote(&ev.votes.Votes[i])
+		}
+	}
+}
+
+// handleAlerts feeds observer alerts into the cut detector and, when the
+// aggregation rule fires, casts this process' consensus vote (§4.2, §4.3).
+func (e *engine) handleAlerts(batch *remoting.BatchedAlertMessage) {
+	c := e.c
+	now := c.clock.Now()
+	currentConfig := e.view.ConfigurationID()
+	var proposal []node.Endpoint
+	for _, alert := range batch.Alerts {
+		if alert.ConfigurationID != currentConfig {
+			continue
+		}
+		var subject node.Endpoint
+		if alert.Status == remoting.EdgeDown {
+			ep, ok := e.view.Member(alert.EdgeDst)
+			if !ok {
+				continue
+			}
+			subject = ep
+		} else {
+			if e.view.Contains(alert.EdgeDst) {
+				continue // JOIN alert about an existing member is invalid.
+			}
+			subject = node.Endpoint{Addr: alert.EdgeDst, ID: alert.JoinerID, Metadata: alert.Metadata}
+		}
+		proposal = append(proposal, e.cd.AggregateForProposal(alert, subject, now)...)
+	}
+	proposal = append(proposal, e.cd.InvalidateFailingEdges(e.view, now)...)
+	if len(proposal) == 0 {
+		return
+	}
+	cons := e.consensus
+	if cons.HasProposed() {
+		return
+	}
+	// Capture the index and size before proposing: a single-process cluster
+	// decides inside Propose, which installs the next view.
+	members := e.view.MemberAddrs()
+	myIndex := sort.Search(len(members), func(i int) bool { return members[i] >= c.me.Addr })
+	cons.Propose(dedupeEndpoints(proposal))
+	e.scheduleFallback(cons, myIndex, len(members))
+}
+
+// handleSubjectFailed converts an edge failure detector verdict into an
+// irrevocable REMOVE alert (enqueued for the next batch).
+func (e *engine) handleSubjectFailed(subject node.Addr) {
+	if !e.view.Contains(subject) || e.alertedEdges[subject] {
+		return
+	}
+	rings := e.view.RingNumbers(e.c.me.Addr, subject)
+	if len(rings) == 0 {
+		return
+	}
+	e.alertedEdges[subject] = true
+	e.addAlert(remoting.AlertMessage{
+		EdgeSrc:         e.c.me.Addr,
+		EdgeDst:         subject,
+		Status:          remoting.EdgeDown,
+		ConfigurationID: e.view.ConfigurationID(),
+		RingNumbers:     rings,
+	})
+}
+
+// handleLeave converts a graceful-leave announcement into REMOVE alerts on
+// the rings where this process observes the leaver.
+func (e *engine) handleLeave(msg *remoting.LeaveMessage) {
+	e.handleSubjectFailed(msg.Sender)
+}
+
+// reinforce echoes REMOVE alerts for subjects stuck in the unstable report
+// region longer than ReinforcementTimeout (§4.2, liveness).
+func (e *engine) reinforce() {
+	c := e.c
+	stuck := e.cd.UnstableLongerThan(c.clock.Now(), c.settings.ReinforcementTimeout)
+	for _, subject := range stuck {
+		e.handleSubjectFailed(subject)
+	}
+}
+
+// handlePreJoin serves phase 1 of the join protocol: a seed returns the
+// joiner's temporary observers in the current configuration.
+func (e *engine) handlePreJoin(ev *preJoinEvent) {
+	msg := ev.msg
+	resp := &remoting.PreJoinResponse{Sender: e.c.me.Addr}
+	resp.Status = e.view.IsSafeToJoin(msg.Sender, msg.JoinerID)
+	resp.ConfigurationID = e.view.ConfigurationID()
+	switch resp.Status {
+	case remoting.JoinSafeToJoin:
+		resp.Observers = e.view.ExpectedObserversOf(msg.Sender)
+	case remoting.JoinHostAlreadyInRing:
+		// If the very same process (same logical ID) retries its join — for
+		// example because the response to its phase-2 request was lost — the
+		// view change admitting it already happened. Point it at its actual
+		// observers; their phase-2 handler replies immediately with the
+		// current configuration.
+		if existing, ok := e.view.Member(msg.Sender); ok && existing.ID == msg.JoinerID {
+			resp.Status = remoting.JoinSafeToJoin
+			if obs, err := e.view.ObserversOf(msg.Sender); err == nil {
+				resp.Observers = obs
+			}
+		}
+	}
+	ev.reply <- resp
+}
+
+// handleJoinPhase2 serves phase 2 of the join protocol on one of the joiner's
+// temporary observers: it broadcasts a JOIN alert and parks the reply channel
+// until the view change that admits the joiner is installed.
+func (e *engine) handleJoinPhase2(ev *joinEvent) {
+	msg := ev.msg
+	c := e.c
+	currentConfig := e.view.ConfigurationID()
+	// If the joiner is already a member, the view change raced ahead of this
+	// request (or it is a retry): answer immediately with the configuration.
+	if existing, ok := e.view.Member(msg.Sender); ok && existing.ID == msg.JoinerID {
+		ev.reply <- &remoting.JoinResponse{
+			Sender:          c.me.Addr,
+			Status:          remoting.JoinSafeToJoin,
+			ConfigurationID: currentConfig,
+			Members:         e.view.Members(),
+		}
+		return
+	}
+	if msg.ConfigurationID != currentConfig {
+		ev.reply <- &remoting.JoinResponse{Sender: c.me.Addr, Status: remoting.JoinConfigChanged, ConfigurationID: currentConfig}
+		return
+	}
+	rings := e.view.RingNumbers(c.me.Addr, msg.Sender)
+	if len(rings) == 0 {
+		// We are not one of the joiner's observers in this configuration.
+		ev.reply <- &remoting.JoinResponse{Sender: c.me.Addr, Status: remoting.JoinConfigChanged, ConfigurationID: currentConfig}
+		return
+	}
+	e.addAlert(remoting.AlertMessage{
+		EdgeSrc:         c.me.Addr,
+		EdgeDst:         msg.Sender,
+		Status:          remoting.EdgeUp,
+		ConfigurationID: currentConfig,
+		RingNumbers:     rings,
+		JoinerID:        msg.JoinerID,
+		Metadata:        msg.Metadata,
+	})
+	e.joinWaiters[msg.Sender] = append(e.joinWaiters[msg.Sender], ev)
+}
+
+// handleFallback starts (or continues) the classical recovery path if the
+// instance the timer was armed for is still current and undecided.
+func (e *engine) handleFallback(cons *fastpaxos.FastPaxos) {
+	if cons != e.consensus || cons.Decided() {
+		return
+	}
+	cons.StartClassicalRound()
+}
+
+// scheduleFallback arms the classical-Paxos fallback for the given consensus
+// instance: if it has not decided within the base delay plus a per-node
+// jitter, this node asks the engine to start (and keep retrying) recovery
+// rounds. The timer goroutine never touches protocol state itself.
+func (e *engine) scheduleFallback(cons *fastpaxos.FastPaxos, myIndex, membershipSize int) {
+	c := e.c
+	base := c.settings.ConsensusFallbackBase
+	jitterSteps := 1
+	if membershipSize > 0 {
+		jitterSteps = myIndex % 8
+	}
+	delay := base + time.Duration(jitterSteps)*base/8
+	// The engine goroutine is wg-tracked, so the counter is non-zero here and
+	// this Add cannot race Stop's Wait.
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		select {
+		case <-c.stopCh:
+			return
+		case <-c.clock.After(delay):
+		}
+		for round := 0; round < 8; round++ {
+			if cons.Decided() {
+				return
+			}
+			if !c.enqueue(event{fallback: cons}) {
+				return
+			}
+			select {
+			case <-c.stopCh:
+				return
+			case <-c.clock.After(base):
+			}
+		}
+	}()
+}
+
+// --- view changes -------------------------------------------------------------
+
+// applyDecision is invoked by the consensus layer exactly once per
+// configuration with the agreed multi-process cut, always on the engine
+// goroutine. It installs the next configuration, resets the
+// per-configuration protocol state, publishes the new snapshot, re-targets
+// the failure-detector monitors, notifies subscribers, and answers joiners
+// that were waiting on this view change.
+func (e *engine) applyDecision(proposal []node.Endpoint) {
+	c := e.c
+
+	changes := make([]StatusChange, 0, len(proposal))
+	for _, ep := range proposal {
+		if existing, ok := e.view.Member(ep.Addr); ok {
+			if err := e.view.RemoveMember(ep.Addr); err == nil {
+				changes = append(changes, StatusChange{Endpoint: existing, Joined: false})
+			}
+		} else {
+			if err := e.view.AddMember(ep); err == nil {
+				changes = append(changes, StatusChange{Endpoint: ep, Joined: true})
+			}
+		}
+	}
+
+	e.viewChanges++
+	newConfigID := e.view.ConfigurationID()
+	members := e.view.Members()
+
+	// Per-configuration state is reset: tallies never carry across views.
+	e.cd.Clear()
+	e.alertedEdges = make(map[node.Addr]bool)
+	e.pendingAlerts = nil
+	e.pendingVotes = nil
+	// seenBatches and rumors survive the view change deliberately: (origin,
+	// seq) keys are never reused, so dedup stays valid, and re-gossiping the
+	// previous configuration's batches is what rescues members that have not
+	// decided yet. Stale content is config-filtered on receipt.
+	addrs := e.view.MemberAddrs()
+	c.unicast.SetMembership(addrs)
+	if c.broadcaster != c.unicast {
+		c.broadcaster.SetMembership(addrs)
+	}
+	e.consensus = e.newConsensus()
+	c.publishSnapshot(e.view, e.viewChanges)
+
+	// Settle the parked joiners. Admitted ones get the new configuration.
+	// A joiner the view change raced past keeps waiting if this node still
+	// observes it in the new configuration: its JOIN alert is re-filed under
+	// the new configuration ID so the next cut can include it, instead of
+	// bouncing it back to phase 1 and burning one of its join attempts.
+	joined := make(map[node.Addr]node.ID, len(changes))
+	for _, change := range changes {
+		if change.Joined {
+			joined[change.Endpoint.Addr] = change.Endpoint.ID
+		}
+	}
+	remaining := make(map[node.Addr][]*joinEvent)
+	for addr, waiters := range e.joinWaiters {
+		if joinedID, ok := joined[addr]; ok {
+			// Only the incarnation that was actually admitted gets
+			// SafeToJoin; a parked waiter with a different logical ID (e.g.
+			// a fast restart racing its predecessor's join) must retry
+			// phase 1, where it will be told the address is taken.
+			admitted := &remoting.JoinResponse{
+				Sender:          c.me.Addr,
+				Status:          remoting.JoinSafeToJoin,
+				ConfigurationID: newConfigID,
+				Members:         members,
+			}
+			rejected := &remoting.JoinResponse{
+				Sender:          c.me.Addr,
+				Status:          remoting.JoinConfigChanged,
+				ConfigurationID: newConfigID,
+			}
+			for _, w := range waiters {
+				resp := admitted
+				if w.msg.JoinerID != joinedID {
+					resp = rejected
+				}
+				select {
+				case w.reply <- resp:
+				default:
+				}
+			}
+			continue
+		}
+		rings := e.view.RingNumbers(c.me.Addr, addr)
+		if len(rings) == 0 || e.view.Contains(addr) || waiters[0].refiles >= maxJoinRefiles {
+			// No longer this joiner's observer, the address is taken by a
+			// different process, or the re-file budget is spent: send it
+			// back to phase 1.
+			resp := &remoting.JoinResponse{
+				Sender:          c.me.Addr,
+				Status:          remoting.JoinConfigChanged,
+				ConfigurationID: newConfigID,
+			}
+			for _, w := range waiters {
+				select {
+				case w.reply <- resp:
+				default:
+				}
+			}
+			continue
+		}
+		for _, w := range waiters {
+			w.refiles++
+		}
+		msg := waiters[0].msg
+		e.addAlert(remoting.AlertMessage{
+			EdgeSrc:         c.me.Addr,
+			EdgeDst:         addr,
+			Status:          remoting.EdgeUp,
+			ConfigurationID: newConfigID,
+			RingNumbers:     rings,
+			JoinerID:        msg.JoinerID,
+			Metadata:        msg.Metadata,
+		})
+		remaining[addr] = waiters
+	}
+	e.joinWaiters = remaining
+
+	// Monitors depend on the subject set, which changed with the view; the
+	// monitor manager swaps them without blocking the engine.
+	c.setMonitorSubjects(e.currentSubjects())
+
+	c.notifier.publish(ViewChange{
+		ConfigurationID: newConfigID,
+		Members:         members,
+		Changes:         changes,
+	})
+}
+
+// currentSubjects returns the distinct subjects this process must monitor in
+// the current configuration, or nil if it is no longer a member.
+func (e *engine) currentSubjects() []node.Addr {
+	if !e.view.Contains(e.c.me.Addr) {
+		return nil
+	}
+	subjects, _ := e.view.UniqueSubjectsOf(e.c.me.Addr)
+	return subjects
+}
+
+// dedupeEndpoints removes duplicate endpoints and sorts by address so every
+// process that detected the same cut votes for a byte-identical proposal.
+func dedupeEndpoints(in []node.Endpoint) []node.Endpoint {
+	seen := make(map[node.Addr]bool, len(in))
+	out := make([]node.Endpoint, 0, len(in))
+	for _, ep := range in {
+		if seen[ep.Addr] {
+			continue
+		}
+		seen[ep.Addr] = true
+		out = append(out, ep)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out
+}

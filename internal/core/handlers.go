@@ -2,15 +2,16 @@ package core
 
 import (
 	"context"
-	"sort"
 
-	"repro/internal/fastpaxos"
 	"repro/internal/node"
 	"repro/internal/remoting"
 )
 
-// HandleRequest implements transport.Handler: it routes every protocol
-// message to the appropriate sub-handler.
+// HandleRequest implements transport.Handler. Handlers are thin enqueuers:
+// protocol messages become typed events on the engine queue and are
+// acknowledged immediately, so the transport's dispatch path never takes a
+// lock and never touches protocol state. Only the join phases wait for the
+// engine's reply, and probes are answered directly from an atomic flag.
 func (c *Cluster) HandleRequest(ctx context.Context, from node.Addr, req *remoting.Request) (*remoting.Response, error) {
 	switch {
 	case req == nil:
@@ -18,150 +19,89 @@ func (c *Cluster) HandleRequest(ctx context.Context, from node.Addr, req *remoti
 	case req.Probe != nil:
 		return c.handleProbe(), nil
 	case req.PreJoin != nil:
-		return c.handlePreJoin(req.PreJoin), nil
+		return c.handlePreJoin(ctx, req.PreJoin), nil
 	case req.Join != nil:
 		return c.handleJoinPhase2(ctx, req.Join), nil
-	case req.Alerts != nil:
-		c.handleBatchedAlerts(req.Alerts)
+	case req.Alerts != nil || req.VoteBatch != nil:
+		c.enqueue(event{raw: req, batch: req.Alerts, votes: req.VoteBatch, network: true})
 		return remoting.AckResponse(), nil
 	case req.Leave != nil:
-		c.handleLeave(req.Leave)
+		c.enqueue(event{leave: req.Leave})
 		return remoting.AckResponse(), nil
 	case req.FastRound != nil:
-		if cons := c.currentConsensus(); cons != nil {
-			cons.HandleFastRoundVote(req.FastRound)
-		}
+		c.enqueue(event{fastRound: req.FastRound})
 		return remoting.AckResponse(), nil
 	case req.P1a != nil:
-		if cons := c.currentConsensus(); cons != nil {
-			cons.HandlePhase1a(req.P1a)
-		}
+		c.enqueue(event{p1a: req.P1a})
 		return remoting.AckResponse(), nil
 	case req.P1b != nil:
-		if cons := c.currentConsensus(); cons != nil {
-			cons.HandlePhase1b(req.P1b)
-		}
+		c.enqueue(event{p1b: req.P1b})
 		return remoting.AckResponse(), nil
 	case req.P2a != nil:
-		if cons := c.currentConsensus(); cons != nil {
-			cons.HandlePhase2a(req.P2a)
-		}
+		c.enqueue(event{p2a: req.P2a})
 		return remoting.AckResponse(), nil
 	case req.P2b != nil:
-		if cons := c.currentConsensus(); cons != nil {
-			cons.HandlePhase2b(req.P2b)
-		}
+		c.enqueue(event{p2b: req.P2b})
 		return remoting.AckResponse(), nil
 	default:
 		return remoting.AckResponse(), nil
 	}
 }
 
-// currentConsensus snapshots the consensus instance for the current view.
-// Consensus handlers are invoked outside c.mu because a decision re-enters
-// the cluster through onDecide, which acquires the lock.
-func (c *Cluster) currentConsensus() *fastpaxos.FastPaxos {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if !c.started || c.stopped || c.consensus == nil {
-		return nil
-	}
-	return c.consensus
-}
-
-// handleProbe answers an edge failure detector probe.
+// handleProbe answers an edge failure detector probe without involving the
+// engine: probe latency is what failure detection is calibrated against, so
+// it must not queue behind protocol work.
 func (c *Cluster) handleProbe() *remoting.Response {
-	c.mu.Lock()
-	started := c.started
-	c.mu.Unlock()
 	status := remoting.NodeOK
-	if !started {
+	if !c.started.Load() {
 		status = remoting.NodeBootstrapping
 	}
 	return &remoting.Response{Probe: &remoting.ProbeResponse{Sender: c.me.Addr, Status: status}}
 }
 
-// handlePreJoin is phase 1 of the join protocol: a seed returns the joiner's
-// temporary observers in the current configuration.
-func (c *Cluster) handlePreJoin(msg *remoting.PreJoinRequest) *remoting.Response {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	resp := &remoting.PreJoinResponse{Sender: c.me.Addr}
-	if !c.started || c.stopped {
-		resp.Status = remoting.JoinViewChangeInProgress
+// handlePreJoin forwards phase 1 of the join protocol to the engine and waits
+// for its answer; the topology lookup needs a consistent ring view.
+func (c *Cluster) handlePreJoin(ctx context.Context, msg *remoting.PreJoinRequest) *remoting.Response {
+	busy := &remoting.Response{PreJoin: &remoting.PreJoinResponse{
+		Sender: c.me.Addr,
+		Status: remoting.JoinViewChangeInProgress,
+	}}
+	if !c.started.Load() {
+		return busy
+	}
+	reply := make(chan *remoting.PreJoinResponse, 1)
+	if !c.enqueue(event{preJoin: &preJoinEvent{msg: msg, reply: reply}}) {
+		return busy
+	}
+	select {
+	case resp := <-reply:
 		return &remoting.Response{PreJoin: resp}
+	case <-ctx.Done():
+		return busy
+	case <-c.stopCh:
+		return busy
 	}
-	resp.Status = c.view.IsSafeToJoin(msg.Sender, msg.JoinerID)
-	resp.ConfigurationID = c.view.ConfigurationID()
-	switch resp.Status {
-	case remoting.JoinSafeToJoin:
-		resp.Observers = c.view.ExpectedObserversOf(msg.Sender)
-	case remoting.JoinHostAlreadyInRing:
-		// If the very same process (same logical ID) retries its join — for
-		// example because the response to its phase-2 request was lost — the
-		// view change admitting it already happened. Point it at its actual
-		// observers; their phase-2 handler replies immediately with the
-		// current configuration.
-		if existing, ok := c.view.Member(msg.Sender); ok && existing.ID == msg.JoinerID {
-			resp.Status = remoting.JoinSafeToJoin
-			if obs, err := c.view.ObserversOf(msg.Sender); err == nil {
-				resp.Observers = obs
-			}
-		}
-	}
-	return &remoting.Response{PreJoin: resp}
 }
 
-// handleJoinPhase2 is phase 2 of the join protocol, served by each of the
-// joiner's temporary observers: the observer broadcasts a JOIN alert and
-// responds once the view change that admits the joiner has been installed.
+// handleJoinPhase2 forwards phase 2 of the join protocol to the engine. The
+// engine either answers immediately or parks the reply until the view change
+// that admits the joiner; this handler enforces the caller-facing timeouts.
 func (c *Cluster) handleJoinPhase2(ctx context.Context, msg *remoting.JoinRequest) *remoting.Response {
-	c.mu.Lock()
-	if !c.started || c.stopped {
-		c.mu.Unlock()
+	if !c.started.Load() {
 		return joinResponse(c.me.Addr, remoting.JoinViewChangeInProgress, 0, nil)
 	}
-	currentConfig := c.view.ConfigurationID()
-	// If the joiner is already a member, the view change raced ahead of this
-	// request (or it is a retry): answer immediately with the configuration.
-	if existing, ok := c.view.Member(msg.Sender); ok && existing.ID == msg.JoinerID {
-		members := c.view.Members()
-		c.mu.Unlock()
-		return joinResponse(c.me.Addr, remoting.JoinSafeToJoin, currentConfig, members)
+	reply := make(chan *remoting.JoinResponse, 1)
+	if !c.enqueue(event{join: &joinEvent{msg: msg, reply: reply}}) {
+		return joinResponse(c.me.Addr, remoting.JoinViewChangeInProgress, c.ConfigurationID(), nil)
 	}
-	if msg.ConfigurationID != currentConfig {
-		c.mu.Unlock()
-		return joinResponse(c.me.Addr, remoting.JoinConfigChanged, currentConfig, nil)
-	}
-	rings := c.view.RingNumbers(c.me.Addr, msg.Sender)
-	if len(rings) == 0 {
-		// We are not one of the joiner's observers in this configuration.
-		c.mu.Unlock()
-		return joinResponse(c.me.Addr, remoting.JoinConfigChanged, currentConfig, nil)
-	}
-	c.enqueueAlertLocked(remoting.AlertMessage{
-		EdgeSrc:         c.me.Addr,
-		EdgeDst:         msg.Sender,
-		Status:          remoting.EdgeUp,
-		ConfigurationID: currentConfig,
-		RingNumbers:     rings,
-		JoinerID:        msg.JoinerID,
-		Metadata:        msg.Metadata,
-	})
-	ch := make(chan *remoting.JoinResponse, 1)
-	c.joinWaiters[msg.Sender] = append(c.joinWaiters[msg.Sender], ch)
-	c.mu.Unlock()
-
 	select {
-	case resp := <-ch:
+	case resp := <-reply:
 		return &remoting.Response{Join: resp}
 	case <-ctx.Done():
-		return joinResponse(c.me.Addr, remoting.JoinViewChangeInProgress, currentConfig, nil)
 	case <-c.clock.After(c.settings.JoinPhase2Timeout):
-		return joinResponse(c.me.Addr, remoting.JoinViewChangeInProgress, currentConfig, nil)
 	case <-c.stopCh:
-		return joinResponse(c.me.Addr, remoting.JoinViewChangeInProgress, currentConfig, nil)
 	}
+	return joinResponse(c.me.Addr, remoting.JoinViewChangeInProgress, c.ConfigurationID(), nil)
 }
 
 func joinResponse(sender node.Addr, status remoting.JoinStatus, configID uint64, members []node.Endpoint) *remoting.Response {
@@ -171,93 +111,4 @@ func joinResponse(sender node.Addr, status remoting.JoinStatus, configID uint64,
 		ConfigurationID: configID,
 		Members:         members,
 	}}
-}
-
-// handleLeave converts a graceful-leave announcement into REMOVE alerts on
-// the rings where this process observes the leaver.
-func (c *Cluster) handleLeave(msg *remoting.LeaveMessage) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if !c.started || c.stopped || !c.view.Contains(msg.Sender) || c.alertedEdges[msg.Sender] {
-		return
-	}
-	rings := c.view.RingNumbers(c.me.Addr, msg.Sender)
-	if len(rings) == 0 {
-		return
-	}
-	c.alertedEdges[msg.Sender] = true
-	c.enqueueAlertLocked(remoting.AlertMessage{
-		EdgeSrc:         c.me.Addr,
-		EdgeDst:         msg.Sender,
-		Status:          remoting.EdgeDown,
-		ConfigurationID: c.view.ConfigurationID(),
-		RingNumbers:     rings,
-	})
-}
-
-// handleBatchedAlerts feeds observer alerts into the cut detector and, when
-// the aggregation rule fires, casts this process' consensus vote.
-func (c *Cluster) handleBatchedAlerts(batch *remoting.BatchedAlertMessage) {
-	c.mu.Lock()
-	if !c.started || c.stopped {
-		c.mu.Unlock()
-		return
-	}
-	now := c.clock.Now()
-	currentConfig := c.view.ConfigurationID()
-	var proposal []node.Endpoint
-	for _, alert := range batch.Alerts {
-		if alert.ConfigurationID != currentConfig {
-			continue
-		}
-		var subject node.Endpoint
-		if alert.Status == remoting.EdgeDown {
-			ep, ok := c.view.Member(alert.EdgeDst)
-			if !ok {
-				continue
-			}
-			subject = ep
-		} else {
-			if c.view.Contains(alert.EdgeDst) {
-				continue // JOIN alert about an existing member is invalid.
-			}
-			subject = node.Endpoint{Addr: alert.EdgeDst, ID: alert.JoinerID, Metadata: alert.Metadata}
-		}
-		proposal = append(proposal, c.cd.AggregateForProposal(alert, subject, now)...)
-	}
-	proposal = append(proposal, c.cd.InvalidateFailingEdges(c.view, now)...)
-
-	if len(proposal) == 0 {
-		c.mu.Unlock()
-		return
-	}
-	proposal = dedupeEndpoints(proposal)
-	cons := c.consensus
-	members := c.view.MemberAddrs()
-	myIndex := sort.Search(len(members), func(i int) bool { return members[i] >= c.me.Addr })
-	size := len(members)
-	alreadyProposed := cons.HasProposed()
-	c.mu.Unlock()
-
-	if alreadyProposed {
-		return
-	}
-	cons.Propose(proposal)
-	c.scheduleFallback(cons, myIndex, size)
-}
-
-// dedupeEndpoints removes duplicate endpoints and sorts by address so every
-// process that detected the same cut votes for a byte-identical proposal.
-func dedupeEndpoints(in []node.Endpoint) []node.Endpoint {
-	seen := make(map[node.Addr]bool, len(in))
-	out := make([]node.Endpoint, 0, len(in))
-	for _, ep := range in {
-		if seen[ep.Addr] {
-			continue
-		}
-		seen[ep.Addr] = true
-		out = append(out, ep)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
-	return out
 }

@@ -5,13 +5,35 @@
 // (package edgefd), multi-process cut detection (package cutdetect) and the
 // leaderless view-change consensus (package fastpaxos) into a single service
 // reachable over any transport.
+//
+// Internally the service is a single-writer event-loop engine (engine.go):
+// one goroutine owns all protocol state and consumes a typed event queue,
+// transport handlers are thin enqueuers, readers see atomic snapshots, and
+// outbound alerts and consensus votes are coalesced into one batched wire
+// message per batching window, disseminated by a Settings-selected
+// broadcaster (unicast-to-all or gossip).
 package core
 
 import (
+	"fmt"
 	"time"
 
 	"repro/internal/edgefd"
 	"repro/internal/simclock"
+)
+
+// BroadcastMode selects how batched alerts and consensus votes are
+// disseminated to the membership.
+type BroadcastMode string
+
+const (
+	// BroadcastUnicastToAll sends every batch directly to every member:
+	// O(N) messages per batch from the sender, one hop. The paper's default.
+	BroadcastUnicastToAll BroadcastMode = "unicast"
+	// BroadcastGossip sends every batch to a random fanout subset; receivers
+	// re-broadcast unseen batches, flooding the membership in O(log N) hops
+	// at O(fanout) cost per process per batch.
+	BroadcastGossip BroadcastMode = "gossip"
 )
 
 // Settings are the tunables of a membership service instance. The zero value
@@ -34,9 +56,29 @@ type Settings struct {
 	// ping-pong detector (40% of the last 10 probes).
 	FailureDetector edgefd.Factory
 
-	// BatchingWindow is how long alerts are buffered before being broadcast
-	// as a single batched message (§6).
+	// BatchingWindow is how long alerts and fast-round votes are buffered
+	// before being broadcast as a single batched message (§6).
 	BatchingWindow time.Duration
+
+	// Broadcast selects the dissemination strategy for batched alerts and
+	// votes; defaults to BroadcastUnicastToAll. Consensus recovery messages
+	// and leave announcements always use unicast-to-all, which needs no
+	// re-broadcast cooperation to reach every member.
+	Broadcast BroadcastMode
+	// GossipFanout is how many random members each gossip hop forwards to;
+	// only used with BroadcastGossip. Defaults to 8.
+	GossipFanout int
+	// GossipRounds is how many times each process pushes a batch it
+	// originated or first received: one immediate broadcast plus re-gossip
+	// on subsequent batch ticks. Multiple rounds give flooding its
+	// with-high-probability coverage; one-shot forwarding can strand a
+	// member without a consensus quorum. Defaults to 3.
+	GossipRounds int
+
+	// EventQueueSize bounds the engine's inbound event queue. When the queue
+	// is full, transport handlers block (backpressure) rather than drop.
+	// Defaults to 1024.
+	EventQueueSize int
 
 	// ConsensusFallbackBase is the base delay before an undecided node starts
 	// the classical Paxos recovery round. Each node adds a deterministic
@@ -141,6 +183,22 @@ func (s *Settings) validate() error {
 	}
 	if s.BatchingWindow <= 0 {
 		s.BatchingWindow = 100 * time.Millisecond
+	}
+	switch s.Broadcast {
+	case "":
+		s.Broadcast = BroadcastUnicastToAll
+	case BroadcastUnicastToAll, BroadcastGossip:
+	default:
+		return fmt.Errorf("core: unknown broadcast mode %q", s.Broadcast)
+	}
+	if s.GossipFanout <= 0 {
+		s.GossipFanout = 8
+	}
+	if s.GossipRounds <= 0 {
+		s.GossipRounds = 3
+	}
+	if s.EventQueueSize <= 0 {
+		s.EventQueueSize = 1024
 	}
 	if s.ConsensusFallbackBase <= 0 {
 		s.ConsensusFallbackBase = 8 * time.Second

@@ -30,6 +30,11 @@ type Config struct {
 	Client paxos.Sender
 	// Broadcaster sends votes and recovery messages to the membership.
 	Broadcaster paxos.Broadcaster
+	// VoteSink, when non-nil, receives this process' fast-round vote instead
+	// of it being broadcast immediately. The membership service uses this to
+	// coalesce votes with alerts into one batched wire message per window
+	// (§6); the recovery path always uses Broadcaster directly.
+	VoteSink func(*remoting.FastRoundPhase2b)
 	// OnDecide is invoked exactly once with the decided proposal.
 	OnDecide func([]node.Endpoint)
 }
@@ -94,11 +99,16 @@ func (f *FastPaxos) Propose(proposal []node.Endpoint) {
 	f.mu.Unlock()
 
 	f.inner.RegisterFastRoundVote(proposal)
-	f.cfg.Broadcaster.Broadcast(&remoting.Request{FastRound: &remoting.FastRoundPhase2b{
+	vote := &remoting.FastRoundPhase2b{
 		Sender:          f.cfg.MyAddr,
 		ConfigurationID: f.cfg.ConfigurationID,
 		Proposal:        proposal,
-	}})
+	}
+	if f.cfg.VoteSink != nil {
+		f.cfg.VoteSink(vote)
+		return
+	}
+	f.cfg.Broadcaster.Broadcast(&remoting.Request{FastRound: vote})
 }
 
 // HasProposed reports whether this process already cast its fast-round vote.

@@ -85,6 +85,11 @@ type Options struct {
 	AccountBandwidth bool
 	// JoinConcurrency bounds how many joins run at once (0 = all at once).
 	JoinConcurrency int
+	// Broadcast selects the dissemination strategy for Rapid fleets
+	// (unicast-to-all or gossip); empty uses the core default.
+	Broadcast core.BroadcastMode
+	// GossipFanout is the per-hop fanout for the gossip broadcaster.
+	GossipFanout int
 }
 
 // Fleet is a running cluster of agents plus its infrastructure processes.
@@ -160,7 +165,7 @@ func Launch(opts Options) (*Fleet, error) {
 func (f *Fleet) startInfrastructure() error {
 	switch f.Options.System {
 	case SystemRapid:
-		settings := core.ScaledSettings(f.Options.TimeScale)
+		settings := f.rapidSettings()
 		seed, err := core.StartCluster(seedAddr, settings, f.Net)
 		if err != nil {
 			return err
@@ -242,12 +247,24 @@ func (f *Fleet) startMembers() error {
 	return firstErr
 }
 
+// rapidSettings builds the core settings for this fleet's Rapid agents.
+func (f *Fleet) rapidSettings() core.Settings {
+	settings := core.ScaledSettings(f.Options.TimeScale)
+	if f.Options.Broadcast != "" {
+		settings.Broadcast = f.Options.Broadcast
+	}
+	if f.Options.GossipFanout > 0 {
+		settings.GossipFanout = f.Options.GossipFanout
+	}
+	return settings
+}
+
 // startMember boots one cluster member of the configured system.
 func (f *Fleet) startMember(i int) (Agent, error) {
 	addr := memberAddr(i)
 	switch f.Options.System {
 	case SystemRapid:
-		settings := core.ScaledSettings(f.Options.TimeScale)
+		settings := f.rapidSettings()
 		c, err := core.JoinCluster(addr, []node.Addr{seedAddr}, settings, f.Net)
 		if err != nil {
 			return nil, err

@@ -31,6 +31,51 @@ func (c *Counter) Value() int64 {
 	return c.v
 }
 
+// Distribution accumulates count/sum/max of a stream of observations, enough
+// to report mean and peak batch sizes without retaining samples.
+type Distribution struct {
+	mu    sync.Mutex
+	count int64
+	sum   float64
+	max   float64
+}
+
+// Observe records one observation.
+func (d *Distribution) Observe(v float64) {
+	d.mu.Lock()
+	d.count++
+	d.sum += v
+	if v > d.max {
+		d.max = v
+	}
+	d.mu.Unlock()
+}
+
+// Count returns the number of observations.
+func (d *Distribution) Count() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.count
+}
+
+// DistributionSummary is a point-in-time aggregate of a Distribution.
+type DistributionSummary struct {
+	Count int64
+	Mean  float64
+	Max   float64
+}
+
+// Summary returns the current aggregate.
+func (d *Distribution) Summary() DistributionSummary {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	s := DistributionSummary{Count: d.count, Max: d.max}
+	if d.count > 0 {
+		s.Mean = d.sum / float64(d.count)
+	}
+	return s
+}
+
 // Sample is one observation in a time series: the time it was recorded and
 // the observed value (for membership experiments, the reported cluster size).
 type Sample struct {

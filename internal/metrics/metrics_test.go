@@ -164,3 +164,38 @@ func TestNewBandwidthRecorderDefaultsBucket(t *testing.T) {
 		t.Errorf("default bucket should be 1s; rate = %v", got)
 	}
 }
+
+func TestDistribution(t *testing.T) {
+	var d Distribution
+	if s := d.Summary(); s.Count != 0 || s.Mean != 0 || s.Max != 0 {
+		t.Fatalf("empty distribution summary = %+v", s)
+	}
+	for _, v := range []float64{2, 4, 9} {
+		d.Observe(v)
+	}
+	s := d.Summary()
+	if s.Count != 3 || s.Max != 9 || s.Mean != 5 {
+		t.Fatalf("summary = %+v, want count=3 mean=5 max=9", s)
+	}
+	if d.Count() != 3 {
+		t.Fatalf("Count = %d, want 3", d.Count())
+	}
+}
+
+func TestDistributionConcurrent(t *testing.T) {
+	var d Distribution
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				d.Observe(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if d.Count() != 8000 {
+		t.Fatalf("Count = %d, want 8000", d.Count())
+	}
+}

@@ -5,7 +5,7 @@ package remoting
 // (each Encoder/Decoder pair here is single-use), costing both CPU and the
 // bandwidth that Table 2 of the paper accounts. The format:
 //
-//	byte 0   codec version (currently 1)
+//	byte 0   codec version (currently 2)
 //	uvarint  field mask: bit i set means union field i is present
 //	...      each present field's payload, in mask bit order
 //
@@ -29,8 +29,10 @@ import (
 	"repro/internal/node"
 )
 
-// codecVersion tags every encoded message so the format can evolve.
-const codecVersion = 1
+// codecVersion tags every encoded message so the format can evolve. Version
+// 2 added the batch Seq field and the FastRoundVoteBatch union member; a
+// version-1 peer rejects version-2 frames outright instead of mis-decoding.
+const codecVersion = 2
 
 // ErrCodecVersion indicates a message encoded with an unknown format version.
 var ErrCodecVersion = errors.New("remoting: unknown codec version")
@@ -52,6 +54,7 @@ const (
 	reqLeave
 	reqGetView
 	reqCustom
+	reqVoteBatch
 )
 
 // Response union field bits, in encoding order.
@@ -177,6 +180,9 @@ func appendRequest(b []byte, req *Request) []byte {
 		if req.Custom != nil {
 			mask |= reqCustom
 		}
+		if req.VoteBatch != nil {
+			mask |= reqVoteBatch
+		}
 	}
 	b = binary.AppendUvarint(b, mask)
 	if mask == 0 {
@@ -197,6 +203,7 @@ func appendRequest(b []byte, req *Request) []byte {
 	if req.Alerts != nil {
 		m := req.Alerts
 		b = appendString(b, string(m.Sender))
+		b = binary.AppendUvarint(b, m.Seq)
 		b = binary.AppendUvarint(b, uint64(len(m.Alerts)))
 		for i := range m.Alerts {
 			b = appendAlert(b, &m.Alerts[i])
@@ -249,6 +256,18 @@ func appendRequest(b []byte, req *Request) []byte {
 	if req.Custom != nil {
 		b = appendString(b, req.Custom.Kind)
 		b = appendBytes(b, req.Custom.Data)
+	}
+	if req.VoteBatch != nil {
+		m := req.VoteBatch
+		b = appendString(b, string(m.Sender))
+		b = binary.AppendUvarint(b, m.Seq)
+		b = binary.AppendUvarint(b, uint64(len(m.Votes)))
+		for i := range m.Votes {
+			v := &m.Votes[i]
+			b = appendString(b, string(v.Sender))
+			b = appendU64(b, v.ConfigurationID)
+			b = appendEndpoints(b, v.Proposal)
+		}
 	}
 	return b
 }
@@ -619,7 +638,7 @@ func (d *decoder) request() *Request {
 		}
 	}
 	if mask&reqAlerts != 0 {
-		m := &BatchedAlertMessage{Sender: d.addr()}
+		m := &BatchedAlertMessage{Sender: d.addr(), Seq: d.uvarint()}
 		n := d.count()
 		if n > 0 {
 			m.Alerts = make([]AlertMessage, n)
@@ -687,7 +706,25 @@ func (d *decoder) request() *Request {
 	if mask&reqCustom != 0 {
 		req.Custom = &CustomMessage{Kind: d.string(), Data: d.bytes()}
 	}
-	if mask&^uint64((reqCustom<<1)-1) != 0 {
+	if mask&reqVoteBatch != 0 {
+		m := &FastRoundVoteBatch{Sender: d.addr(), Seq: d.uvarint()}
+		n := d.count()
+		if n > 0 {
+			m.Votes = make([]FastRoundPhase2b, n)
+			for i := range m.Votes {
+				m.Votes[i] = FastRoundPhase2b{
+					Sender:          d.addr(),
+					ConfigurationID: d.u64(),
+					Proposal:        d.endpoints(),
+				}
+			}
+			if d.err != nil {
+				m.Votes = nil
+			}
+		}
+		req.VoteBatch = m
+	}
+	if mask&^uint64((reqVoteBatch<<1)-1) != 0 {
 		d.fail(fmt.Errorf("unknown request fields in mask %#x", mask))
 	}
 	return req

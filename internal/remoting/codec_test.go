@@ -127,9 +127,29 @@ func randAlert(r *rand.Rand) AlertMessage {
 	return a
 }
 
+func randAlertBatch(r *rand.Rand) *BatchedAlertMessage {
+	m := &BatchedAlertMessage{Sender: randAddr(r), Seq: uint64(r.Intn(1 << 20))}
+	for i, n := 0, r.Intn(6); i < n; i++ {
+		m.Alerts = append(m.Alerts, randAlert(r))
+	}
+	return m
+}
+
+func randVoteBatch(r *rand.Rand) *FastRoundVoteBatch {
+	m := &FastRoundVoteBatch{Sender: randAddr(r), Seq: uint64(r.Intn(1 << 20))}
+	for i, n := 0, r.Intn(4); i < n; i++ {
+		m.Votes = append(m.Votes, FastRoundPhase2b{
+			Sender:          randAddr(r),
+			ConfigurationID: r.Uint64(),
+			Proposal:        randEndpoints(r),
+		})
+	}
+	return m
+}
+
 func randRequest(r *rand.Rand) *Request {
 	req := &Request{}
-	switch r.Intn(12) {
+	switch r.Intn(14) {
 	case 0:
 		req.PreJoin = &PreJoinRequest{Sender: randAddr(r), JoinerID: randID(r)}
 	case 1:
@@ -141,11 +161,7 @@ func randRequest(r *rand.Rand) *Request {
 			Metadata:        randMetadata(r),
 		}
 	case 2:
-		m := &BatchedAlertMessage{Sender: randAddr(r)}
-		for i, n := 0, r.Intn(6); i < n; i++ {
-			m.Alerts = append(m.Alerts, randAlert(r))
-		}
-		req.Alerts = m
+		req.Alerts = randAlertBatch(r)
 	case 3:
 		req.Probe = &ProbeRequest{Sender: randAddr(r)}
 	case 4:
@@ -169,6 +185,12 @@ func randRequest(r *rand.Rand) *Request {
 			data = nil
 		}
 		req.Custom = &CustomMessage{Kind: fmt.Sprintf("proto-%d", r.Intn(5)), Data: data}
+	case 12:
+		req.VoteBatch = randVoteBatch(r)
+	case 13:
+		// The unified outbound batch: alerts and votes in one wire message.
+		req.Alerts = randAlertBatch(r)
+		req.VoteBatch = randVoteBatch(r)
 	}
 	return req
 }

@@ -151,6 +151,9 @@ type AlertMessage struct {
 // Rapid batches multiple alerts into a single message before sending (§6).
 type BatchedAlertMessage struct {
 	Sender node.Addr
+	// Seq is the sender's outbound batch sequence number. Gossip broadcast
+	// re-forwards batches, so receivers deduplicate on (Sender, Seq).
+	Seq    uint64
 	Alerts []AlertMessage
 }
 
@@ -171,6 +174,18 @@ type FastRoundPhase2b struct {
 	Sender          node.Addr
 	ConfigurationID uint64
 	Proposal        []node.Endpoint
+}
+
+// FastRoundVoteBatch groups fast-round votes flushed within one batching
+// window. The membership service coalesces consensus votes and alerts into a
+// single outbound wire message per window (§6 extended to the vote path): a
+// Request may carry both an Alerts and a VoteBatch payload.
+type FastRoundVoteBatch struct {
+	Sender node.Addr
+	// Seq is the sender's outbound batch sequence number, shared with the
+	// Alerts payload flushed in the same window (gossip deduplication).
+	Seq   uint64
+	Votes []FastRoundPhase2b
 }
 
 // Phase1a is the classical Paxos prepare message of the recovery path.
@@ -240,8 +255,11 @@ type CustomMessage struct {
 }
 
 // Request is the union of all RPC request payloads. Exactly one of the
-// pointer fields is set. Using a flat union avoids per-message type
-// information on the wire and keeps encoding deterministic.
+// pointer fields is set, with one exception: the outbound batching path may
+// combine Alerts and VoteBatch in a single request so that everything
+// generated within one batching window travels as one wire message. Using a
+// flat union avoids per-message type information on the wire and keeps
+// encoding deterministic.
 type Request struct {
 	PreJoin   *PreJoinRequest
 	Join      *JoinRequest
@@ -255,6 +273,7 @@ type Request struct {
 	Leave     *LeaveMessage
 	GetView   *GetViewRequest
 	Custom    *CustomMessage
+	VoteBatch *FastRoundVoteBatch
 }
 
 // Response is the union of all RPC response payloads.
@@ -277,6 +296,8 @@ func (r *Request) Kind() string {
 		return "prejoin"
 	case r.Join != nil:
 		return "join"
+	case r.Alerts != nil && r.VoteBatch != nil:
+		return "alerts+votes"
 	case r.Alerts != nil:
 		return "alerts"
 	case r.Probe != nil:
@@ -295,6 +316,8 @@ func (r *Request) Kind() string {
 		return "leave"
 	case r.GetView != nil:
 		return "getview"
+	case r.VoteBatch != nil:
+		return "votebatch"
 	case r.Custom != nil:
 		return "custom:" + r.Custom.Kind
 	default:

@@ -22,6 +22,21 @@ type Clock interface {
 	After(d time.Duration) <-chan time.Time
 	// Since returns the time elapsed since t.
 	Since(t time.Time) time.Duration
+	// Ticker returns a repeating timer firing every d. Unlike calling After
+	// in a loop, a ticker reuses its channel and timer state, so periodic
+	// protocol loops (alert batching, reinforcement) allocate nothing per
+	// tick. Callers must Stop it when done.
+	Ticker(d time.Duration) Ticker
+}
+
+// Ticker is a repeating timer. Like time.Ticker, delivery is coalescing: if
+// the receiver falls behind, intermediate ticks are dropped rather than
+// queued.
+type Ticker interface {
+	// C returns the delivery channel.
+	C() <-chan time.Time
+	// Stop halts future deliveries. It does not close the channel.
+	Stop()
 }
 
 // Real is a Clock backed by the wall clock.
@@ -42,6 +57,14 @@ func (Real) After(d time.Duration) <-chan time.Time { return time.After(d) }
 // Since implements Clock.
 func (Real) Since(t time.Time) time.Duration { return time.Since(t) }
 
+// Ticker implements Clock.
+func (Real) Ticker(d time.Duration) Ticker { return realTicker{time.NewTicker(d)} }
+
+type realTicker struct{ t *time.Ticker }
+
+func (rt realTicker) C() <-chan time.Time { return rt.t.C }
+func (rt realTicker) Stop()               { rt.t.Stop() }
+
 // Manual is a Clock whose time only moves when Advance is called. Sleepers
 // and After-channels fire when the manual time passes their deadline.
 type Manual struct {
@@ -53,6 +76,9 @@ type Manual struct {
 type waiter struct {
 	deadline time.Time
 	ch       chan time.Time
+	// period is non-zero for ticker waiters, which re-arm after firing.
+	period  time.Duration
+	stopped bool
 }
 
 // NewManual returns a manual clock starting at the given time.
@@ -93,16 +119,58 @@ func (m *Manual) Sleep(d time.Duration) {
 	<-m.After(d)
 }
 
+// Ticker implements Clock. Manual tickers fire at most once per Advance call
+// (coalescing, like time.Ticker under a slow receiver) and re-arm relative to
+// the advanced time.
+func (m *Manual) Ticker(d time.Duration) Ticker {
+	if d <= 0 {
+		d = time.Nanosecond
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	w := &waiter{deadline: m.now.Add(d), ch: make(chan time.Time, 1), period: d}
+	m.waiters = append(m.waiters, w)
+	return &manualTicker{m: m, w: w}
+}
+
+type manualTicker struct {
+	m *Manual
+	w *waiter
+}
+
+func (mt *manualTicker) C() <-chan time.Time { return mt.w.ch }
+
+// Stop implements Ticker: the waiter is flagged and dropped from the waiter
+// list on the next Advance.
+func (mt *manualTicker) Stop() {
+	mt.m.mu.Lock()
+	mt.w.stopped = true
+	mt.m.mu.Unlock()
+}
+
 // Advance moves the clock forward by d and fires any waiters whose deadline
-// has been reached, in deadline order.
+// has been reached, in deadline order. One-shot waiters are removed; ticker
+// waiters re-arm at now + period.
 func (m *Manual) Advance(d time.Duration) {
+	type firing struct {
+		w  *waiter
+		at time.Time
+	}
 	m.mu.Lock()
 	m.now = m.now.Add(d)
 	now := m.now
-	var due, remaining []*waiter
+	var due []firing
+	var remaining []*waiter
 	for _, w := range m.waiters {
+		if w.stopped {
+			continue
+		}
 		if !w.deadline.After(now) {
-			due = append(due, w)
+			due = append(due, firing{w: w, at: w.deadline})
+			if w.period > 0 {
+				w.deadline = now.Add(w.period)
+				remaining = append(remaining, w)
+			}
 		} else {
 			remaining = append(remaining, w)
 		}
@@ -110,9 +178,17 @@ func (m *Manual) Advance(d time.Duration) {
 	m.waiters = remaining
 	m.mu.Unlock()
 
-	sort.Slice(due, func(i, j int) bool { return due[i].deadline.Before(due[j].deadline) })
-	for _, w := range due {
-		w.ch <- now
+	sort.Slice(due, func(i, j int) bool { return due[i].at.Before(due[j].at) })
+	for _, f := range due {
+		if f.w.period > 0 {
+			// Coalescing delivery: drop the tick if the receiver is behind.
+			select {
+			case f.w.ch <- now:
+			default:
+			}
+		} else {
+			f.w.ch <- now
+		}
 	}
 }
 

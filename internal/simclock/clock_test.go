@@ -112,3 +112,68 @@ func TestManualMultipleWaitersFireInOrder(t *testing.T) {
 		t.Errorf("PendingWaiters = %d, want 1", c.PendingWaiters())
 	}
 }
+
+func TestManualTickerFiresRepeatedly(t *testing.T) {
+	c := NewManual(time.Unix(0, 0))
+	tk := c.Ticker(time.Second)
+	defer tk.Stop()
+	for i := 0; i < 3; i++ {
+		c.Advance(time.Second)
+		select {
+		case <-tk.C():
+		default:
+			t.Fatalf("tick %d did not fire", i+1)
+		}
+	}
+}
+
+func TestManualTickerCoalescesMissedTicks(t *testing.T) {
+	c := NewManual(time.Unix(0, 0))
+	tk := c.Ticker(time.Second)
+	defer tk.Stop()
+	// Advancing far past several periods without draining delivers one tick.
+	c.Advance(5 * time.Second)
+	c.Advance(5 * time.Second)
+	select {
+	case <-tk.C():
+	default:
+		t.Fatal("ticker did not fire")
+	}
+	select {
+	case <-tk.C():
+		t.Fatal("missed ticks should coalesce into a single delivery")
+	default:
+	}
+	// After draining, the ticker is re-armed relative to the advanced time.
+	c.Advance(time.Second)
+	select {
+	case <-tk.C():
+	default:
+		t.Fatal("ticker did not re-arm after a coalesced delivery")
+	}
+}
+
+func TestManualTickerStop(t *testing.T) {
+	c := NewManual(time.Unix(0, 0))
+	tk := c.Ticker(time.Second)
+	tk.Stop()
+	c.Advance(3 * time.Second)
+	select {
+	case <-tk.C():
+		t.Fatal("stopped ticker fired")
+	default:
+	}
+	if c.PendingWaiters() != 0 {
+		t.Errorf("PendingWaiters = %d, want 0 after stop", c.PendingWaiters())
+	}
+}
+
+func TestRealTicker(t *testing.T) {
+	tk := NewReal().Ticker(time.Millisecond)
+	defer tk.Stop()
+	select {
+	case <-tk.C():
+	case <-time.After(time.Second):
+		t.Fatal("real ticker did not fire")
+	}
+}

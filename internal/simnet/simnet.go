@@ -11,6 +11,7 @@ import (
 	"context"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/metrics"
@@ -71,6 +72,9 @@ type Network struct {
 	inboxSize  int
 	recMu      sync.Mutex
 	recorders  map[node.Addr]*metrics.BandwidthRecorder
+
+	msgTotal  atomic.Int64
+	msgCounts sync.Map // request kind -> *atomic.Int64
 }
 
 // New creates a simulated network.
@@ -97,6 +101,35 @@ func New(opts Options) *Network {
 		inboxSize:   inbox,
 		recorders:   make(map[node.Addr]*metrics.BandwidthRecorder),
 	}
+}
+
+// countMessage tallies one send attempt by request kind. Unlike bandwidth
+// accounting this is always on — experiments use it to compare dissemination
+// strategies by message count (e.g. messages per view change) — so it must
+// not contend: the counters are lock-free atomics (the per-kind map only
+// allocates on first sight of a kind).
+func (n *Network) countMessage(req *remoting.Request) {
+	n.msgTotal.Add(1)
+	kind := req.Kind()
+	if c, ok := n.msgCounts.Load(kind); ok {
+		c.(*atomic.Int64).Add(1)
+		return
+	}
+	c, _ := n.msgCounts.LoadOrStore(kind, new(atomic.Int64))
+	c.(*atomic.Int64).Add(1)
+}
+
+// TotalMessages returns the number of send attempts observed so far
+// (requests only; responses are not counted).
+func (n *Network) TotalMessages() int64 { return n.msgTotal.Load() }
+
+// MessageCount returns the number of send attempts of one request kind (as
+// named by remoting.Request.Kind, e.g. "alerts", "votebatch", "fastround").
+func (n *Network) MessageCount(kind string) int64 {
+	if c, ok := n.msgCounts.Load(kind); ok {
+		return c.(*atomic.Int64).Load()
+	}
+	return 0
 }
 
 // Register implements transport.Network. It binds a handler to an address and
@@ -329,6 +362,7 @@ type client struct {
 // responses.
 func (c *client) Send(ctx context.Context, to node.Addr, req *remoting.Request) (*remoting.Response, error) {
 	n := c.net
+	n.countMessage(req)
 	if n.latency > 0 {
 		n.clock.Sleep(n.latency)
 	}
@@ -359,6 +393,7 @@ func (c *client) Send(ctx context.Context, to node.Addr, req *remoting.Request) 
 // otherwise (or if the inbox is full).
 func (c *client) SendBestEffort(to node.Addr, req *remoting.Request) {
 	n := c.net
+	n.countMessage(req)
 	if !n.allowed(c.from, to) {
 		return
 	}

@@ -258,3 +258,31 @@ func TestNumRegistered(t *testing.T) {
 		t.Fatalf("NumRegistered = %d, want 1", n.NumRegistered())
 	}
 }
+
+func TestMessageCounts(t *testing.T) {
+	net := New(Options{Seed: 1})
+	if err := net.Register("b:1", transport.HandlerFunc(
+		func(ctx context.Context, from node.Addr, req *remoting.Request) (*remoting.Response, error) {
+			return remoting.AckResponse(), nil
+		})); err != nil {
+		t.Fatal(err)
+	}
+	cl := net.Client("a:1")
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if _, err := cl.Send(ctx, "b:1", &remoting.Request{Probe: &remoting.ProbeRequest{Sender: "a:1"}}); err != nil {
+		t.Fatal(err)
+	}
+	cl.SendBestEffort("b:1", &remoting.Request{Leave: &remoting.LeaveMessage{Sender: "a:1"}})
+	// Sends to unreachable destinations still count as send attempts.
+	cl.SendBestEffort("nowhere:1", &remoting.Request{Leave: &remoting.LeaveMessage{Sender: "a:1"}})
+	if got := net.MessageCount("probe"); got != 1 {
+		t.Errorf("MessageCount(probe) = %d, want 1", got)
+	}
+	if got := net.MessageCount("leave"); got != 2 {
+		t.Errorf("MessageCount(leave) = %d, want 2", got)
+	}
+	if got := net.TotalMessages(); got != 3 {
+		t.Errorf("TotalMessages = %d, want 3", got)
+	}
+}
