@@ -74,20 +74,23 @@ func BenchmarkFigure8_ConcurrentCrashes(b *testing.B) {
 
 // BenchmarkFigure1_9_10_AsymmetricFaults measures stability under the paper's
 // asymmetric network failures: Figure 9's one-way flip-flopping partition and
-// Figure 10's (and Figure 1's) sustained 80% packet loss.
+// Figure 10's (and Figure 1's) sustained 80% packet loss. The flip-flop case
+// runs at N=60: the paper's stability guarantee needs n >> K, and at N=20 a
+// partitioned victim's own noise alerts occasionally evicted a healthy
+// subject (see the FaultIngressFlipFlop doc comment for the mechanism).
 func BenchmarkFigure1_9_10_AsymmetricFaults(b *testing.B) {
 	cases := []struct {
 		name  string
 		fault experiments.FaultKind
+		n     int
 	}{
-		{"Figure9_IngressFlipFlop", experiments.FaultIngressFlipFlop},
-		{"Figure1_10_EgressLoss80", experiments.FaultEgressLoss80},
+		{"Figure9_IngressFlipFlop", experiments.FaultIngressFlipFlop, 60},
+		{"Figure1_10_EgressLoss80", experiments.FaultEgressLoss80, 20},
 	}
-	const n = 20
 	for _, c := range cases {
 		b.Run(c.name+"/rapid", func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				r, err := experiments.RunFault(benchConfig(), harness.SystemRapid, c.fault, n)
+				r, err := experiments.RunFault(benchConfig(), harness.SystemRapid, c.fault, c.n)
 				if err != nil {
 					b.Fatal(err)
 				}

@@ -9,9 +9,12 @@
 //	rapid-bench -exp fig5 -sizes 30,60,100
 //	rapid-bench -exp fig11
 //	rapid-bench -exp fig12 -scale 100
+//	rapid-bench -exp bootstrap -sizes 100,500,1000 -scale 10
 //
 // Experiments: fig1, fig5 (also covers fig6/fig7/table1), fig8, fig9, fig10,
-// table2, fig11, fig12, fig13, eigen, all.
+// table2, fig11, fig12, fig13, broadcast, eigen, all, and bootstrap — the
+// paper-scale (1000+ node) Figure 5 rerun, which must be selected explicitly
+// because it runs minutes, not seconds, and is therefore not part of "all".
 package main
 
 import (
@@ -28,11 +31,13 @@ import (
 
 func main() {
 	var (
-		expName = flag.String("exp", "all", "experiment to run (fig1,fig5,fig8,fig9,fig10,table2,fig11,fig12,fig13,broadcast,eigen,all)")
-		scale   = flag.Float64("scale", 50, "time compression factor (50 = 1 paper-second -> 20ms)")
-		n       = flag.Int("n", 60, "cluster size for failure experiments")
-		sizes   = flag.String("sizes", "30,60,100", "comma-separated cluster sizes for bootstrap experiments")
-		seed    = flag.Int64("seed", 1, "random seed")
+		expName  = flag.String("exp", "all", "experiment to run (fig1,fig5,fig8,fig9,fig10,table2,fig11,fig12,fig13,broadcast,eigen,all,bootstrap)")
+		scale    = flag.Float64("scale", 50, "time compression factor (50 = 1 paper-second -> 20ms)")
+		n        = flag.Int("n", 60, "cluster size for failure experiments")
+		sizes    = flag.String("sizes", "30,60,100", "comma-separated cluster sizes for bootstrap experiments (bootstrap default: 100,500,1000,2000)")
+		seed     = flag.Int64("seed", 1, "random seed")
+		shards   = flag.Int("shards", 0, "bootstrap experiment only: simnet delivery shards (0 = default); raise with available cores for 1000+ node runs")
+		joinconc = flag.Int("joinconc", 0, "bootstrap experiment only: max concurrent joins (0 = all at once)")
 	)
 	flag.Parse()
 
@@ -135,6 +140,29 @@ func main() {
 				failures = 1
 			}
 			_, err := experiments.RunBroadcastComparison(cfg, *n, failures, 8)
+			return err
+		})
+	}
+	// The paper-scale bootstrap sweep is opt-in only: at the default sizes it
+	// reruns Figure 5 at N up to 2000 and takes minutes.
+	if selected == "bootstrap" {
+		run("Figure 5 at paper scale: Rapid bootstrap convergence", func() error {
+			// An explicitly passed -sizes wins (even if it equals the
+			// laptop-scale default string); otherwise sweep the paper's sizes.
+			sizesSet := false
+			flag.Visit(func(f *flag.Flag) {
+				if f.Name == "sizes" {
+					sizesSet = true
+				}
+			})
+			sweep := bootstrapSizes
+			if !sizesSet {
+				sweep = []int{100, 500, 1000, 2000}
+			}
+			_, err := experiments.RunBootstrapConvergence(cfg, sweep, experiments.ConvergenceOptions{
+				JoinConcurrency: *joinconc,
+				Shards:          *shards,
+			})
 			return err
 		})
 	}

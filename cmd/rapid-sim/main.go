@@ -27,15 +27,19 @@ func main() {
 		scale    = flag.Float64("scale", 50, "time compression factor")
 		duration = flag.Duration("duration", 20*time.Second, "wall-clock time to observe after the fault")
 		seed     = flag.Int64("seed", 1, "random seed")
+		shards   = flag.Int("shards", 0, "simnet delivery shards (0 = default); raise with available cores for 1000+ node runs")
+		joinconc = flag.Int("joinconc", 0, "max concurrent joins during launch (0 = all at once)")
 	)
 	flag.Parse()
 
 	fleet, err := harness.Launch(harness.Options{
-		System:         harness.System(*system),
-		N:              *n,
-		TimeScale:      *scale,
-		Seed:           *seed,
-		SampleInterval: 50 * time.Millisecond,
+		System:          harness.System(*system),
+		N:               *n,
+		TimeScale:       *scale,
+		Seed:            *seed,
+		SampleInterval:  50 * time.Millisecond,
+		SimnetShards:    *shards,
+		JoinConcurrency: *joinconc,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "launch: %v\n", err)

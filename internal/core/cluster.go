@@ -81,7 +81,13 @@ type Cluster struct {
 	unicast     *broadcast.UnicastToAll
 	broadcaster broadcast.Broadcaster
 
-	events   chan event
+	events chan event
+	// prio carries control-plane events (join phases) that must not queue
+	// behind the N² alert/vote flood: during a 1000-node bootstrap storm a
+	// seed's event queue holds thousands of batches, and a phase-1 join
+	// parked behind them would time out and burn one of the joiner's
+	// attempts. The engine drains prio first.
+	prio     chan event
 	stopCh   chan struct{}
 	stopOnce sync.Once
 	wg       sync.WaitGroup
@@ -170,6 +176,7 @@ func newCluster(addr node.Addr, settings Settings, net transport.Network) (*Clus
 		me:        me,
 		unicast:   broadcast.NewUnicastToAll(client),
 		events:    make(chan event, settings.EventQueueSize),
+		prio:      make(chan event, settings.EventQueueSize),
 		stopCh:    make(chan struct{}),
 		notifier:  newNotifier(),
 		monitorCh: make(chan []node.Addr, 1),
@@ -207,10 +214,26 @@ func (c *Cluster) enqueue(ev event) bool {
 	}
 }
 
+// enqueuePriority submits a control-plane event on the priority queue, which
+// the engine drains ahead of the data-plane flood.
+func (c *Cluster) enqueuePriority(ev event) bool {
+	select {
+	case c.prio <- ev:
+		return true
+	case <-c.stopCh:
+		return false
+	}
+}
+
 // publishSnapshot installs the membership state readers see. Called by the
-// engine goroutine only (and once during construction).
-func (c *Cluster) publishSnapshot(v *view.View, viewChanges int) {
-	members := v.Members()
+// engine goroutine only (and once during construction). members is the
+// caller's sorted copy of v.Members(); reusing it saves a second O(N log N)
+// sort per view change per node, but the snapshot still takes its own flat
+// copy — the caller hands the same slice to subscriber callbacks and join
+// responses, and a subscriber mutating ViewChange.Members must not corrupt
+// what concurrent Members()/Size() readers see.
+func (c *Cluster) publishSnapshot(v *view.View, members []node.Endpoint, viewChanges int) {
+	members = append([]node.Endpoint(nil), members...)
 	byAddr := make(map[node.Addr]node.Endpoint, len(members))
 	for _, ep := range members {
 		byAddr[ep.Addr] = ep
@@ -291,7 +314,7 @@ func (c *Cluster) Metadata(addr node.Addr) (map[string]string, bool) {
 // Stats returns a point-in-time summary of the engine instrumentation.
 func (c *Cluster) Stats() EngineStats {
 	return EngineStats{
-		QueueDepth:       len(c.events),
+		QueueDepth:       len(c.events) + len(c.prio),
 		EventsProcessed:  c.emetrics.EventsProcessed.Value(),
 		BatchesSent:      c.emetrics.BatchesSent.Value(),
 		BatchSizes:       c.emetrics.BatchSizes.Summary(),

@@ -146,7 +146,7 @@ func newEngine(c *Cluster, members []node.Endpoint) *engine {
 		c.broadcaster.SetMembership(addrs)
 	}
 	e.consensus = e.newConsensus()
-	c.publishSnapshot(e.view, e.viewChanges)
+	c.publishSnapshot(e.view, e.view.Members(), e.viewChanges)
 	return e
 }
 
@@ -162,10 +162,30 @@ func (e *engine) run() {
 	defer flush.Stop()
 	reinforce := c.clock.Ticker(c.settings.ReinforcementTick)
 	defer reinforce.Stop()
+	// drainPrio applies queued control-plane events, at most maxPrioBurst per
+	// call: joins get strict priority over the alert/vote flood, but each
+	// loop iteration must still reach the full select so stopCh and the
+	// flush/reinforcement tickers stay live under sustained join traffic.
+	const maxPrioBurst = 64
+	drainPrio := func() {
+		for i := 0; i < maxPrioBurst; i++ {
+			select {
+			case ev := <-c.prio:
+				e.dispatch(ev)
+				c.emetrics.EventsProcessed.Add(1)
+			default:
+				return
+			}
+		}
+	}
 	for {
+		drainPrio()
 		select {
 		case <-c.stopCh:
 			return
+		case ev := <-c.prio:
+			e.dispatch(ev)
+			c.emetrics.EventsProcessed.Add(1)
 		case ev := <-c.events:
 			e.dispatch(ev)
 			c.emetrics.EventsProcessed.Add(1)
@@ -353,10 +373,10 @@ func (e *engine) handleBatch(ev event) {
 // handleAlerts feeds observer alerts into the cut detector and, when the
 // aggregation rule fires, casts this process' consensus vote (§4.2, §4.3).
 func (e *engine) handleAlerts(batch *remoting.BatchedAlertMessage) {
-	c := e.c
-	now := c.clock.Now()
+	now := e.c.clock.Now()
 	currentConfig := e.view.ConfigurationID()
 	var proposal []node.Endpoint
+	downApplied := false
 	for _, alert := range batch.Alerts {
 		if alert.ConfigurationID != currentConfig {
 			continue
@@ -368,6 +388,7 @@ func (e *engine) handleAlerts(batch *remoting.BatchedAlertMessage) {
 				continue
 			}
 			subject = ep
+			downApplied = true
 		} else {
 			if e.view.Contains(alert.EdgeDst) {
 				continue // JOIN alert about an existing member is invalid.
@@ -376,7 +397,21 @@ func (e *engine) handleAlerts(batch *remoting.BatchedAlertMessage) {
 		}
 		proposal = append(proposal, e.cd.AggregateForProposal(alert, subject, now)...)
 	}
-	proposal = append(proposal, e.cd.InvalidateFailingEdges(e.view, now)...)
+	// Implicit alerts (§4.2, liveness) scan every unstable subject's would-be
+	// observers — O(unstable x K^2) ring searches. Their outcome can only
+	// change when a REMOVE alert made some observer unstable, so the scan is
+	// skipped for join/vote-only batches; during a 1000-node bootstrap storm
+	// (hundreds of unstable joiners, zero failures) this check was >80% of
+	// all CPU. The reinforcement tick re-runs the scan as a backstop.
+	if downApplied {
+		proposal = append(proposal, e.cd.InvalidateFailingEdges(e.view, now)...)
+	}
+	e.propose(proposal)
+}
+
+// propose casts this process' consensus vote for a non-empty proposal if it
+// has not voted in this configuration yet.
+func (e *engine) propose(proposal []node.Endpoint) {
 	if len(proposal) == 0 {
 		return
 	}
@@ -387,7 +422,7 @@ func (e *engine) handleAlerts(batch *remoting.BatchedAlertMessage) {
 	// Capture the index and size before proposing: a single-process cluster
 	// decides inside Propose, which installs the next view.
 	members := e.view.MemberAddrs()
-	myIndex := sort.Search(len(members), func(i int) bool { return members[i] >= c.me.Addr })
+	myIndex := sort.Search(len(members), func(i int) bool { return members[i] >= e.c.me.Addr })
 	cons.Propose(dedupeEndpoints(proposal))
 	e.scheduleFallback(cons, myIndex, len(members))
 }
@@ -419,13 +454,16 @@ func (e *engine) handleLeave(msg *remoting.LeaveMessage) {
 }
 
 // reinforce echoes REMOVE alerts for subjects stuck in the unstable report
-// region longer than ReinforcementTimeout (§4.2, liveness).
+// region longer than ReinforcementTimeout (§4.2, liveness), and re-runs the
+// implicit-alert scan that handleAlerts skips for join/vote-only batches.
 func (e *engine) reinforce() {
 	c := e.c
-	stuck := e.cd.UnstableLongerThan(c.clock.Now(), c.settings.ReinforcementTimeout)
+	now := c.clock.Now()
+	stuck := e.cd.UnstableLongerThan(now, c.settings.ReinforcementTimeout)
 	for _, subject := range stuck {
 		e.handleSubjectFailed(subject)
 	}
+	e.propose(e.cd.InvalidateFailingEdges(e.view, now))
 }
 
 // handlePreJoin serves phase 1 of the join protocol: a seed returns the
@@ -584,7 +622,7 @@ func (e *engine) applyDecision(proposal []node.Endpoint) {
 		c.broadcaster.SetMembership(addrs)
 	}
 	e.consensus = e.newConsensus()
-	c.publishSnapshot(e.view, e.viewChanges)
+	c.publishSnapshot(e.view, members, e.viewChanges)
 
 	// Settle the parked joiners. Admitted ones get the new configuration.
 	// A joiner the view change raced past keeps waiting if this node still

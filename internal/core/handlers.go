@@ -70,7 +70,7 @@ func (c *Cluster) handlePreJoin(ctx context.Context, msg *remoting.PreJoinReques
 		return busy
 	}
 	reply := make(chan *remoting.PreJoinResponse, 1)
-	if !c.enqueue(event{preJoin: &preJoinEvent{msg: msg, reply: reply}}) {
+	if !c.enqueuePriority(event{preJoin: &preJoinEvent{msg: msg, reply: reply}}) {
 		return busy
 	}
 	select {
@@ -91,7 +91,7 @@ func (c *Cluster) handleJoinPhase2(ctx context.Context, msg *remoting.JoinReques
 		return joinResponse(c.me.Addr, remoting.JoinViewChangeInProgress, 0, nil)
 	}
 	reply := make(chan *remoting.JoinResponse, 1)
-	if !c.enqueue(event{join: &joinEvent{msg: msg, reply: reply}}) {
+	if !c.enqueuePriority(event{join: &joinEvent{msg: msg, reply: reply}}) {
 		return joinResponse(c.me.Addr, remoting.JoinViewChangeInProgress, c.ConfigurationID(), nil)
 	}
 	select {

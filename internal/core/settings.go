@@ -7,11 +7,15 @@
 // reachable over any transport.
 //
 // Internally the service is a single-writer event-loop engine (engine.go):
-// one goroutine owns all protocol state and consumes a typed event queue,
+// one goroutine owns all protocol state and consumes typed event queues,
 // transport handlers are thin enqueuers, readers see atomic snapshots, and
 // outbound alerts and consensus votes are coalesced into one batched wire
 // message per batching window, disseminated by a Settings-selected
-// broadcaster (unicast-to-all or gossip).
+// broadcaster (unicast-to-all or gossip). Join phases travel on a separate
+// control-plane priority queue that the engine drains first, so a seed
+// serving a 1000-node bootstrap storm keeps answering joiners while
+// thousands of alert/vote batches are backed up behind them; see
+// docs/ARCHITECTURE.md for the full event-flow diagram.
 package core
 
 import (

@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRunBootstrapConvergenceSmall exercises the paper-scale sweep machinery
+// at laptop size: the sweep must converge, record a join latency for every
+// member, and produce ordered percentiles.
+func TestRunBootstrapConvergenceSmall(t *testing.T) {
+	points, err := RunBootstrapConvergence(testConfig(), []int{20}, ConvergenceOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 1 {
+		t.Fatalf("expected 1 point, got %d", len(points))
+	}
+	p := points[0]
+	if !p.Converged {
+		t.Fatal("20-node bootstrap did not converge")
+	}
+	if p.JoinP50 <= 0 || p.JoinP50 > p.JoinP90 || p.JoinP90 > p.JoinP99 {
+		t.Fatalf("join percentiles not ordered: p50=%v p90=%v p99=%v", p.JoinP50, p.JoinP90, p.JoinP99)
+	}
+	if p.Messages <= 0 {
+		t.Fatal("no messages recorded")
+	}
+}
+
+// TestBootstrapConvergence1000Smoke is the CI gate for the paper-scale
+// simnet: a 1000-node Rapid fleet must bootstrap to a converged view inside
+// one test binary (no sockets) within the bound below. It runs only in
+// -short mode — CI invokes it as a dedicated smoke step, and gating it keeps
+// the multi-minute fleet out of every plain `go test ./...` (where it would
+// run a second time for no extra signal). It also skips under the race
+// detector, whose ~10x instrumentation cost would turn a scale check into a
+// timeout lottery.
+func TestBootstrapConvergence1000Smoke(t *testing.T) {
+	if raceEnabled {
+		t.Skip("paper-scale smoke skipped under -race (covered at 100 nodes by the churn scenario)")
+	}
+	if !testing.Short() {
+		t.Skip("paper-scale smoke runs in the dedicated -short lane: go test -short -run TestBootstrapConvergence1000Smoke ./internal/experiments/")
+	}
+	cfg := Config{TimeScale: 20, Seed: 1}
+	start := time.Now()
+	points, err := RunBootstrapConvergence(cfg, []int{1000}, ConvergenceOptions{
+		Timeout: 4 * time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := points[0]
+	if !p.Converged {
+		t.Fatal("1000-node bootstrap did not converge")
+	}
+	t.Logf("1000 nodes converged in %s wall (%.0f paper-s); join p50/p90/p99 = %.0f/%.0f/%.0f paper-s; %d msgs",
+		time.Since(start).Round(time.Second), cfg.scaledSeconds(p.ConvergenceTime),
+		cfg.scaledSeconds(p.JoinP50), cfg.scaledSeconds(p.JoinP90), cfg.scaledSeconds(p.JoinP99),
+		p.Messages)
+}

@@ -1,9 +1,18 @@
 // Package experiments contains the runners that regenerate every table and
-// figure of the paper's evaluation (§2.1 and §7), scaled down so they run on
-// a single machine: cluster sizes default to 30–100 members instead of
-// 1000–2000 and protocol intervals are compressed by a configurable time
-// scale. The quantities reported per experiment are the same ones the paper
-// plots; EXPERIMENTS.md records a captured run next to the paper's numbers.
+// figure of the paper's evaluation (§2.1 and §7) on a single machine. The
+// cross-system comparisons (BootstrapSweep, CrashSweep, FaultSweep,
+// BandwidthSweep) run scaled down — 30–100 members with protocol intervals
+// compressed by a configurable time scale — while RunBootstrapConvergence
+// reruns the Figure 5 bootstrap workload for Rapid at the paper's true scale
+// (1000–2000 members in one process), which the sharded simulated network
+// makes affordable. The quantities reported per experiment are the same ones
+// the paper plots; docs/EXPERIMENTS.md maps each figure and table to the
+// exact command that reproduces it and records a captured run.
+//
+// Every runner takes a Config (time scale, seed, output writer) and builds
+// its fleets through package harness, so experiments stay declarative: pick
+// a system, a size, a fault, and read back convergence times, join-latency
+// percentiles, message counts, or bandwidth summaries.
 package experiments
 
 import (
@@ -120,6 +129,98 @@ func BootstrapSweep(cfg Config, systems []harness.System, sizes []int) ([]Bootst
 		}
 	}
 	return results, nil
+}
+
+// --- Figure 5 at paper scale: 1000+ node bootstrap convergence ---------------
+
+// BootstrapConvergencePoint captures one cluster size of the paper-scale
+// Figure 5 sweep.
+type BootstrapConvergencePoint struct {
+	N               int
+	Converged       bool
+	ConvergenceTime time.Duration
+	// JoinP50/P90/P99 are percentiles of each member's join-call latency
+	// (the time from issuing the two-phase join until the admitting view
+	// change's response arrived), which is the per-node quantity Figure 5
+	// plots.
+	JoinP50, JoinP90, JoinP99 time.Duration
+	// Messages is the total simnet send count for the run, a proxy for the
+	// dissemination cost of the bootstrap storm.
+	Messages int64
+}
+
+// ConvergenceOptions tune the paper-scale bootstrap sweep.
+type ConvergenceOptions struct {
+	// JoinConcurrency bounds simultaneous join calls (0 = all at once, the
+	// paper's bootstrap storm).
+	JoinConcurrency int
+	// Shards overrides the simnet delivery shard count (0 = default).
+	Shards int
+	// Timeout bounds each run's convergence wait (0 = 300s).
+	Timeout time.Duration
+}
+
+// RunBootstrapConvergence reruns the Figure 5 bootstrap workload at the
+// paper's true scale for Rapid fleets: for each N it boots a fleet with every
+// member joining through one seed, waits until all members report the full
+// size, and reports join-latency percentiles plus the total message cost.
+// Unlike BootstrapSweep (which compares systems at laptop scale), this sweep
+// exists to exercise N in {100, 500, 1000, 2000} in one process, which the
+// sharded simnet makes affordable.
+func RunBootstrapConvergence(cfg Config, sizes []int, opts ConvergenceOptions) ([]BootstrapConvergencePoint, error) {
+	timeout := opts.Timeout
+	if timeout <= 0 {
+		timeout = 300 * time.Second
+	}
+	cfg.printf("== Figure 5 at paper scale: Rapid bootstrap convergence ==\n")
+	cfg.printf("%6s %14s %12s %12s %12s %14s\n",
+		"N", "converge(s)", "join-p50(s)", "join-p90(s)", "join-p99(s)", "msgs/node")
+	var out []BootstrapConvergencePoint
+	for _, n := range sizes {
+		// Bootstrap storms at large N admit joiners in waves; give joiners
+		// enough attempts that the last wave still has budget.
+		attempts := 10
+		if n/25 > attempts {
+			attempts = n / 25
+		}
+		fleet, err := harness.Launch(harness.Options{
+			System:          harness.SystemRapid,
+			N:               n,
+			TimeScale:       cfg.TimeScale,
+			Seed:            cfg.Seed,
+			SampleInterval:  50 * time.Millisecond,
+			JoinConcurrency: opts.JoinConcurrency,
+			SimnetShards:    opts.Shards,
+			JoinAttempts:    attempts,
+		})
+		if err != nil {
+			return out, fmt.Errorf("bootstrap convergence N=%d: %w", n, err)
+		}
+		elapsed, ok := fleet.WaitForSize(n, timeout)
+		point := BootstrapConvergencePoint{
+			N:               n,
+			Converged:       ok,
+			ConvergenceTime: elapsed,
+			Messages:        fleet.Net.TotalMessages(),
+		}
+		lats := make([]float64, 0, n)
+		for _, d := range fleet.JoinLatencies() {
+			lats = append(lats, float64(d))
+		}
+		point.JoinP50 = time.Duration(metrics.Percentile(lats, 50))
+		point.JoinP90 = time.Duration(metrics.Percentile(lats, 90))
+		point.JoinP99 = time.Duration(metrics.Percentile(lats, 99))
+		fleet.Stop()
+		out = append(out, point)
+		cfg.printf("%6d %14.1f %12.1f %12.1f %12.1f %14.0f\n",
+			point.N, cfg.scaledSeconds(point.ConvergenceTime),
+			cfg.scaledSeconds(point.JoinP50), cfg.scaledSeconds(point.JoinP90),
+			cfg.scaledSeconds(point.JoinP99), float64(point.Messages)/float64(n))
+		if !ok {
+			return out, fmt.Errorf("bootstrap convergence N=%d: did not converge within %s", n, timeout)
+		}
+	}
+	return out, nil
 }
 
 // --- Figure 8: concurrent crash failures ------------------------------------
@@ -283,6 +384,15 @@ type FaultKind string
 const (
 	// FaultIngressFlipFlop: victims drop all received packets for a window,
 	// recover for a window, and repeat (Figure 9).
+	//
+	// Run this experiment with N >> K only. The paper's stability argument
+	// assumes cluster size well above the ring count; at N close to K (e.g.
+	// N=20, K=10) a flip-flop-partitioned victim observes a healthy subject
+	// on >= L rings, so the victim's own noise REMOVE alerts can push that
+	// healthy subject past the low watermark, reinforcement echoes pile on,
+	// and the healthy subject is evicted — observed as a ~2/12 flake in
+	// earlier PRs. With N >= 60 a single victim holds fewer than L of any
+	// subject's K observer slots and the noise cannot cross the watermark.
 	FaultIngressFlipFlop FaultKind = "ingress-flipflop"
 	// FaultEgressLoss80: victims drop 80% of their outgoing packets
 	// (Figure 10; Figure 1 is the same fault applied to the baselines).

@@ -57,6 +57,27 @@ func TestRunFaultEgressLossRapid(t *testing.T) {
 	}
 }
 
+// TestStabilityFlipFlopLargeN reruns the Figure 9 scenario at N=60, where the
+// paper's n >> K precondition holds: the flip-flopping victim must be removed
+// and — unlike the retired N=20 variant, which flaked ~2/12 runs because the
+// victim's own noise alerts could evict a healthy subject (see the
+// FaultIngressFlipFlop doc comment) — every healthy member must be retained.
+func TestStabilityFlipFlopLargeN(t *testing.T) {
+	if testing.Short() {
+		t.Skip("60-node stability run skipped in -short mode")
+	}
+	r, err := RunFault(testConfig(), harness.SystemRapid, FaultIngressFlipFlop, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.FaultyRemoved {
+		t.Fatal("flip-flopping victim was not removed")
+	}
+	if !r.HealthyRetained {
+		t.Fatal("a healthy member was evicted: n >> K stability violated")
+	}
+}
+
 func TestRunBandwidthRapidSmall(t *testing.T) {
 	r, err := RunBandwidth(testConfig(), harness.SystemRapid, 8, 1)
 	if err != nil {

@@ -1,0 +1,8 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports whether the race detector is compiled in; the
+// paper-scale smoke skips under it (instrumented runs are ~10x slower and the
+// single-writer property is already race-checked on the 100-node scenarios).
+const raceEnabled = true

@@ -3,6 +3,14 @@
 // process on the simulated network, injects the paper's failure scenarios,
 // and records the per-node time series of reported cluster sizes that the
 // evaluation figures are drawn from.
+//
+// A Fleet owns the simulated network (including its delivery shards, sized
+// via Options.SimnetShards and released by Stop), launches every member
+// through the paper's bootstrap-storm workload (all joins at once unless
+// Options.JoinConcurrency bounds them), samples each agent's reported size on
+// a fixed interval, and retains per-member join-call latencies for the
+// Figure 5 percentiles. Fleets of 1000–2000 Rapid agents are routine; see
+// experiments.RunBootstrapConvergence for the paper-scale sweep built on top.
 package harness
 
 import (
@@ -90,6 +98,15 @@ type Options struct {
 	Broadcast core.BroadcastMode
 	// GossipFanout is the per-hop fanout for the gossip broadcaster.
 	GossipFanout int
+	// SimnetShards overrides the simulated network's delivery shard count
+	// (0 = simnet default). Paper-scale fleets (1000+) spread enqueue and
+	// delivery across shards, so more shards help when cores are available.
+	SimnetShards int
+	// JoinAttempts overrides how many times each Rapid joiner retries the
+	// two-phase join (0 = core default). Bootstrap storms at 1000+ nodes
+	// admit joiners in waves, so large fleets need more attempts than the
+	// default tuned for 100-node runs.
+	JoinAttempts int
 }
 
 // Fleet is a running cluster of agents plus its infrastructure processes.
@@ -141,8 +158,12 @@ func Launch(opts Options) (*Fleet, error) {
 	}
 	node.SeedIDGenerator(opts.Seed)
 	f := &Fleet{
-		Options:     opts,
-		Net:         simnet.New(simnet.Options{Seed: opts.Seed, AccountBandwidth: opts.AccountBandwidth}),
+		Options: opts,
+		Net: simnet.New(simnet.Options{
+			Seed:             opts.Seed,
+			AccountBandwidth: opts.AccountBandwidth,
+			Shards:           opts.SimnetShards,
+		}),
 		series:      make(map[node.Addr]*metrics.Series),
 		joinTime:    make(map[node.Addr]time.Duration),
 		samplerStop: make(chan struct{}),
@@ -150,6 +171,7 @@ func Launch(opts Options) (*Fleet, error) {
 	f.started = time.Now()
 
 	if err := f.startInfrastructure(); err != nil {
+		f.Net.Close()
 		return nil, err
 	}
 	f.startSampler()
@@ -255,6 +277,9 @@ func (f *Fleet) rapidSettings() core.Settings {
 	}
 	if f.Options.GossipFanout > 0 {
 		settings.GossipFanout = f.Options.GossipFanout
+	}
+	if f.Options.JoinAttempts > 0 {
+		settings.JoinAttempts = f.Options.JoinAttempts
 	}
 	return settings
 }
@@ -468,7 +493,8 @@ func (f *Fleet) Crash(addrs ...node.Addr) {
 	}
 }
 
-// Stop shuts down sampling, all agents, and the infrastructure.
+// Stop shuts down sampling, all agents, the infrastructure, and the simulated
+// network's delivery workers.
 func (f *Fleet) Stop() {
 	close(f.samplerStop)
 	f.samplerDone.Wait()
@@ -484,6 +510,7 @@ func (f *Fleet) Stop() {
 	for _, stop := range f.infra {
 		stop()
 	}
+	f.Net.Close()
 }
 
 // scaled divides a duration by the time-compression factor.

@@ -5,6 +5,19 @@
 // (the iptables INPUT/OUTPUT rules of §7), directional blackholes between
 // node pairs, crashes, and optional per-message latency. It can also account
 // sent/received bytes per node to regenerate Table 2.
+//
+// The network is built to carry paper-scale fleets (1000–2000 nodes) in one
+// process. Nothing funnels through a global dispatcher: endpoints, fault
+// rules, RNG state, message counters and the best-effort delivery queues are
+// all hash-partitioned into shards, so enqueue and delivery never serialize
+// on a single lock or goroutine. Best-effort messages ride pooled delivery
+// events (the same sync.Pool pattern as remoting's size buffers), which keeps
+// steady-state delivery at zero allocations per message. When no fault rules
+// are installed — the entire bootstrap workload — the per-message fault check
+// reduces to two atomic loads.
+//
+// Call Close when done with a network to stop the per-shard delivery workers;
+// fleets created by the harness do this automatically.
 package simnet
 
 import (
@@ -21,18 +34,96 @@ import (
 	"repro/internal/transport"
 )
 
-// asyncMsg is a queued best-effort message awaiting dispatch to a handler.
-type asyncMsg struct {
+// deliveryEvent is a queued best-effort message awaiting dispatch to a
+// handler. Events are recycled through a sync.Pool: at 1000+ nodes the
+// best-effort path carries millions of messages per bootstrap, and a fresh
+// allocation per message is what used to cap fleet sizes.
+type deliveryEvent struct {
 	from node.Addr
 	req  *remoting.Request
+	// st is the endpoint the message was addressed to when it was sent. The
+	// worker delivers to this state's handler (not whatever is registered at
+	// delivery time), so a deregistered endpoint's queued traffic is dropped
+	// exactly as it was when each endpoint owned its inbox.
+	st *endpointState
+}
+
+var eventPool = sync.Pool{New: func() any { return new(deliveryEvent) }}
+
+// eventQueue is a growable FIFO ring of pooled delivery events. The overall
+// backlog is bounded by the per-destination pending counters (the queue never
+// holds more than the sum of every endpoint's inbox bound), so the ring only
+// grows under genuine load and is reused afterwards; steady-state enqueue and
+// dequeue allocate nothing.
+type eventQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	buf    []*deliveryEvent
+	head   int
+	len    int
+	closed bool
+}
+
+func (q *eventQueue) init() { q.cond = sync.NewCond(&q.mu) }
+
+// push appends one event. It never blocks.
+func (q *eventQueue) push(ev *deliveryEvent) {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		ev.st.pending.Add(-1)
+		*ev = deliveryEvent{}
+		eventPool.Put(ev)
+		return
+	}
+	if q.len == len(q.buf) {
+		grown := make([]*deliveryEvent, max(64, 2*len(q.buf)))
+		for i := 0; i < q.len; i++ {
+			grown[i] = q.buf[(q.head+i)%len(q.buf)]
+		}
+		q.buf, q.head = grown, 0
+	}
+	q.buf[(q.head+q.len)%len(q.buf)] = ev
+	q.len++
+	q.mu.Unlock()
+	q.cond.Signal()
+}
+
+// pop removes the oldest event, blocking until one is available or the queue
+// is closed (nil return).
+func (q *eventQueue) pop() *deliveryEvent {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.len == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if q.len == 0 {
+		return nil
+	}
+	ev := q.buf[q.head]
+	q.buf[q.head] = nil
+	q.head = (q.head + 1) % len(q.buf)
+	q.len--
+	return ev
+}
+
+// close wakes the worker and makes further pushes no-ops.
+func (q *eventQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
 }
 
 // endpointState is the simnet-side representation of one registered process.
 type endpointState struct {
 	handler transport.Handler
-	inbox   chan asyncMsg
-	quit    chan struct{}
-	done    sync.WaitGroup
+	// gone is set on deregistration; queued messages to a gone endpoint are
+	// dropped at delivery time.
+	gone atomic.Bool
+	// pending counts queued-but-undelivered best-effort messages, bounding
+	// each destination's backlog like a UDP socket buffer.
+	pending atomic.Int32
 }
 
 // Options configure a simulated network.
@@ -47,9 +138,39 @@ type Options struct {
 	// pass per message (RequestSize/ResponseSize over the binary codec, with
 	// a pooled scratch buffer), so it is off by default.
 	AccountBandwidth bool
-	// InboxSize bounds each node's best-effort message queue; further
+	// InboxSize bounds each node's best-effort message backlog; further
 	// messages are dropped, mimicking UDP behaviour under load.
 	InboxSize int
+	// Shards is the number of delivery shards (rounded up to a power of two).
+	// Endpoints, fault rules, counters and delivery queues are partitioned by
+	// destination-address hash across shards, each drained by its own worker
+	// goroutine. Defaults to 8.
+	Shards int
+}
+
+// shard is one hash partition of the network: the endpoints whose addresses
+// hash here, the fault rules keyed by those addresses, a private RNG for drop
+// decisions, message counters, and the delivery queue + worker goroutine for
+// best-effort traffic addressed to those endpoints.
+type shard struct {
+	mu          sync.RWMutex
+	endpoints   map[node.Addr]*endpointState
+	crashed     map[node.Addr]bool
+	ingressLoss map[node.Addr]float64
+	egressLoss  map[node.Addr]float64
+	// blackholes for a (src, dst) pair live on src's shard.
+	blackholes map[[2]node.Addr]bool
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	queue eventQueue
+
+	msgTotal  atomic.Int64
+	msgCounts sync.Map // request kind -> *atomic.Int64
+
+	recMu     sync.Mutex
+	recorders map[node.Addr]*metrics.BandwidthRecorder
 }
 
 // Network is a simulated cluster interconnect.
@@ -58,23 +179,20 @@ type Network struct {
 	latency time.Duration
 	start   time.Time
 
-	rngMu sync.Mutex
-	rng   *rand.Rand
+	shards    []*shard
+	shardMask uint32
 
-	mu          sync.RWMutex
-	endpoints   map[node.Addr]*endpointState
-	crashed     map[node.Addr]bool
-	ingressLoss map[node.Addr]float64
-	egressLoss  map[node.Addr]float64
-	blackholes  map[[2]node.Addr]bool
+	// faultRules counts installed loss/blackhole rules and crashedCount the
+	// crash markers. When both are zero — the entire bootstrap workload — the
+	// per-message fault check short-circuits without touching any shard lock.
+	faultRules   atomic.Int64
+	crashedCount atomic.Int64
 
 	accounting bool
 	inboxSize  int
-	recMu      sync.Mutex
-	recorders  map[node.Addr]*metrics.BandwidthRecorder
 
-	msgTotal  atomic.Int64
-	msgCounts sync.Map // request kind -> *atomic.Int64
+	closeOnce sync.Once
+	workers   sync.WaitGroup
 }
 
 // New creates a simulated network.
@@ -87,97 +205,167 @@ func New(opts Options) *Network {
 	if inbox <= 0 {
 		inbox = 4096
 	}
-	return &Network{
-		clock:       clk,
-		latency:     opts.Latency,
-		start:       clk.Now(),
-		rng:         rand.New(rand.NewSource(opts.Seed)),
-		endpoints:   make(map[node.Addr]*endpointState),
-		crashed:     make(map[node.Addr]bool),
-		ingressLoss: make(map[node.Addr]float64),
-		egressLoss:  make(map[node.Addr]float64),
-		blackholes:  make(map[[2]node.Addr]bool),
-		accounting:  opts.AccountBandwidth,
-		inboxSize:   inbox,
-		recorders:   make(map[node.Addr]*metrics.BandwidthRecorder),
+	shards := opts.Shards
+	if shards <= 0 {
+		shards = 8
+	}
+	// Round up to a power of two so routing is a mask, not a modulo.
+	size := 1
+	for size < shards {
+		size <<= 1
+	}
+	n := &Network{
+		clock:      clk,
+		latency:    opts.Latency,
+		start:      clk.Now(),
+		shards:     make([]*shard, size),
+		shardMask:  uint32(size - 1),
+		accounting: opts.AccountBandwidth,
+		inboxSize:  inbox,
+	}
+	for i := range n.shards {
+		s := &shard{
+			endpoints:   make(map[node.Addr]*endpointState),
+			crashed:     make(map[node.Addr]bool),
+			ingressLoss: make(map[node.Addr]float64),
+			egressLoss:  make(map[node.Addr]float64),
+			blackholes:  make(map[[2]node.Addr]bool),
+			rng:         rand.New(rand.NewSource(opts.Seed + int64(i))),
+			recorders:   make(map[node.Addr]*metrics.BandwidthRecorder),
+		}
+		s.queue.init()
+		n.shards[i] = s
+		n.workers.Add(1)
+		go n.deliverLoop(s)
+	}
+	return n
+}
+
+// Close stops the delivery workers. Queued best-effort messages that have not
+// been handed to a handler yet are dropped. Close is idempotent; using the
+// network after Close only affects best-effort delivery (synchronous Sends
+// still work, matching a network object kept alive by late Stop calls).
+func (n *Network) Close() {
+	n.closeOnce.Do(func() {
+		for _, s := range n.shards {
+			s.queue.close()
+		}
+	})
+	n.workers.Wait()
+}
+
+// shardFor routes an address to its shard with an FNV-1a hash.
+func (n *Network) shardFor(addr node.Addr) *shard {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(addr); i++ {
+		h ^= uint32(addr[i])
+		h *= prime32
+	}
+	return n.shards[h&n.shardMask]
+}
+
+// deliverLoop drains one shard's best-effort queue. Handlers are thin
+// enqueuers (the membership engine applies messages on its own goroutine), so
+// delivery passes a plain background context instead of allocating a
+// per-message timeout: the simulated network owns no cancellation semantics.
+//
+// One worker serves all endpoints on the shard, so a handler that blocks
+// (core's enqueue exerts backpressure when a node's event queue fills) stalls
+// delivery to the shard's other endpoints until it drains — head-of-line
+// blocking the old one-goroutine-per-endpoint design did not have, accepted
+// here because per-endpoint dispatchers (N goroutines with N fixed-size
+// inboxes) are what capped fleets at ~100 nodes. A saturated node slows its
+// shard rather than just itself; the engine-side fix (shedding stale batches
+// instead of blocking) is tracked in ROADMAP's backpressure item.
+func (n *Network) deliverLoop(s *shard) {
+	defer n.workers.Done()
+	for {
+		ev := s.queue.pop()
+		if ev == nil {
+			return
+		}
+		ev.st.pending.Add(-1)
+		if !ev.st.gone.Load() {
+			_, _ = ev.st.handler.HandleRequest(context.Background(), ev.from, ev.req)
+		}
+		*ev = deliveryEvent{}
+		eventPool.Put(ev)
 	}
 }
 
-// countMessage tallies one send attempt by request kind. Unlike bandwidth
-// accounting this is always on — experiments use it to compare dissemination
-// strategies by message count (e.g. messages per view change) — so it must
-// not contend: the counters are lock-free atomics (the per-kind map only
-// allocates on first sight of a kind).
-func (n *Network) countMessage(req *remoting.Request) {
-	n.msgTotal.Add(1)
+// countMessage tallies one send attempt by request kind on the source's
+// shard. Unlike bandwidth accounting this is always on — experiments use it
+// to compare dissemination strategies by message count (e.g. messages per
+// view change) — so it must not contend: counters are per-shard lock-free
+// atomics (the per-kind map only allocates on first sight of a kind).
+func (s *shard) countMessage(req *remoting.Request) {
+	s.msgTotal.Add(1)
 	kind := req.Kind()
-	if c, ok := n.msgCounts.Load(kind); ok {
+	if c, ok := s.msgCounts.Load(kind); ok {
 		c.(*atomic.Int64).Add(1)
 		return
 	}
-	c, _ := n.msgCounts.LoadOrStore(kind, new(atomic.Int64))
+	c, _ := s.msgCounts.LoadOrStore(kind, new(atomic.Int64))
 	c.(*atomic.Int64).Add(1)
 }
 
 // TotalMessages returns the number of send attempts observed so far
 // (requests only; responses are not counted).
-func (n *Network) TotalMessages() int64 { return n.msgTotal.Load() }
+func (n *Network) TotalMessages() int64 {
+	var total int64
+	for _, s := range n.shards {
+		total += s.msgTotal.Load()
+	}
+	return total
+}
 
 // MessageCount returns the number of send attempts of one request kind (as
 // named by remoting.Request.Kind, e.g. "alerts", "votebatch", "fastround").
 func (n *Network) MessageCount(kind string) int64 {
-	if c, ok := n.msgCounts.Load(kind); ok {
-		return c.(*atomic.Int64).Load()
+	var total int64
+	for _, s := range n.shards {
+		if c, ok := s.msgCounts.Load(kind); ok {
+			total += c.(*atomic.Int64).Load()
+		}
 	}
-	return 0
+	return total
 }
 
-// Register implements transport.Network. It binds a handler to an address and
-// starts the dispatcher for best-effort messages. Registering clears any
-// previous crash marker for the address (the process came back).
+// Register implements transport.Network. It binds a handler to an address.
+// Registering clears any previous crash marker for the address (the process
+// came back); a replaced registration stops receiving queued traffic.
 func (n *Network) Register(addr node.Addr, handler transport.Handler) error {
-	st := &endpointState{
-		handler: handler,
-		inbox:   make(chan asyncMsg, n.inboxSize),
-		quit:    make(chan struct{}),
+	s := n.shardFor(addr)
+	st := &endpointState{handler: handler}
+	s.mu.Lock()
+	if old, ok := s.endpoints[addr]; ok {
+		old.gone.Store(true)
 	}
-	n.mu.Lock()
-	if old, ok := n.endpoints[addr]; ok {
-		close(old.quit)
+	s.endpoints[addr] = st
+	if s.crashed[addr] {
+		delete(s.crashed, addr)
+		n.crashedCount.Add(-1)
 	}
-	n.endpoints[addr] = st
-	delete(n.crashed, addr)
-	n.mu.Unlock()
-
-	st.done.Add(1)
-	go func() {
-		defer st.done.Done()
-		for {
-			select {
-			case <-st.quit:
-				return
-			case m := <-st.inbox:
-				// Best-effort messages get a generous deadline; the handler
-				// decides what to do with stale configuration traffic.
-				ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-				_, _ = st.handler.HandleRequest(ctx, m.from, m.req)
-				cancel()
-			}
-		}
-	}()
+	s.mu.Unlock()
 	return nil
 }
 
-// Deregister implements transport.Network: the address becomes unreachable.
+// Deregister implements transport.Network: the address becomes unreachable
+// and its queued best-effort messages are dropped at delivery time.
 func (n *Network) Deregister(addr node.Addr) {
-	n.mu.Lock()
-	st, ok := n.endpoints[addr]
+	s := n.shardFor(addr)
+	s.mu.Lock()
+	st, ok := s.endpoints[addr]
 	if ok {
-		delete(n.endpoints, addr)
+		delete(s.endpoints, addr)
 	}
-	n.mu.Unlock()
+	s.mu.Unlock()
 	if ok {
-		close(st.quit)
+		st.gone.Store(true)
 	}
 }
 
@@ -186,9 +374,13 @@ func (n *Network) Deregister(addr node.Addr) {
 // receiving). Experiment code uses this to model process crashes without
 // having to tear down the process object itself.
 func (n *Network) Crash(addr node.Addr) {
-	n.mu.Lock()
-	n.crashed[addr] = true
-	n.mu.Unlock()
+	s := n.shardFor(addr)
+	s.mu.Lock()
+	if !s.crashed[addr] {
+		s.crashed[addr] = true
+		n.crashedCount.Add(1)
+	}
+	s.mu.Unlock()
 	n.Deregister(addr)
 }
 
@@ -199,56 +391,85 @@ func (n *Network) Client(addr node.Addr) transport.Client {
 
 // Registered reports whether an address currently has a handler.
 func (n *Network) Registered(addr node.Addr) bool {
-	n.mu.RLock()
-	defer n.mu.RUnlock()
-	_, ok := n.endpoints[addr]
+	s := n.shardFor(addr)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.endpoints[addr]
 	return ok
 }
 
 // NumRegistered returns the number of live endpoints.
 func (n *Network) NumRegistered() int {
-	n.mu.RLock()
-	defer n.mu.RUnlock()
-	return len(n.endpoints)
+	total := 0
+	for _, s := range n.shards {
+		s.mu.RLock()
+		total += len(s.endpoints)
+		s.mu.RUnlock()
+	}
+	return total
 }
 
 // --- fault injection -------------------------------------------------------
 
-// SetIngressLoss drops the given fraction [0,1] of packets arriving at addr.
-func (n *Network) SetIngressLoss(addr node.Addr, probability float64) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+// setLoss installs or clears one loss rule, keeping the global rule count in
+// step so the no-fault fast path stays exact. The map is selected under the
+// shard lock: ClearFaults replaces the map objects, so a map captured before
+// locking could be the orphaned one.
+func (n *Network) setLoss(addr node.Addr, ingress bool, probability float64) {
+	s := n.shardFor(addr)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := s.egressLoss
+	if ingress {
+		m = s.ingressLoss
+	}
+	_, had := m[addr]
 	if probability <= 0 {
-		delete(n.ingressLoss, addr)
+		if had {
+			delete(m, addr)
+			n.faultRules.Add(-1)
+		}
 		return
 	}
-	n.ingressLoss[addr] = probability
+	m[addr] = probability
+	if !had {
+		n.faultRules.Add(1)
+	}
+}
+
+// SetIngressLoss drops the given fraction [0,1] of packets arriving at addr.
+func (n *Network) SetIngressLoss(addr node.Addr, probability float64) {
+	n.setLoss(addr, true, probability)
 }
 
 // SetEgressLoss drops the given fraction [0,1] of packets leaving addr.
 func (n *Network) SetEgressLoss(addr node.Addr, probability float64) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if probability <= 0 {
-		delete(n.egressLoss, addr)
-		return
-	}
-	n.egressLoss[addr] = probability
+	n.setLoss(addr, false, probability)
 }
 
 // BlockDirectional drops every packet flowing from src to dst (one direction
 // only), modelling the one-way reachability problems of §7.
 func (n *Network) BlockDirectional(src, dst node.Addr) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	n.blackholes[[2]node.Addr{src, dst}] = true
+	s := n.shardFor(src)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	key := [2]node.Addr{src, dst}
+	if !s.blackholes[key] {
+		s.blackholes[key] = true
+		n.faultRules.Add(1)
+	}
 }
 
 // UnblockDirectional removes a directional blackhole.
 func (n *Network) UnblockDirectional(src, dst node.Addr) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	delete(n.blackholes, [2]node.Addr{src, dst})
+	s := n.shardFor(src)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	key := [2]node.Addr{src, dst}
+	if s.blackholes[key] {
+		delete(s.blackholes, key)
+		n.faultRules.Add(-1)
+	}
 }
 
 // BlockPair drops packets in both directions between a and b (a full packet
@@ -266,22 +487,27 @@ func (n *Network) UnblockPair(a, b node.Addr) {
 
 // ClearFaults removes every loss and blackhole rule.
 func (n *Network) ClearFaults() {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	n.ingressLoss = make(map[node.Addr]float64)
-	n.egressLoss = make(map[node.Addr]float64)
-	n.blackholes = make(map[[2]node.Addr]bool)
+	for _, s := range n.shards {
+		s.mu.Lock()
+		removed := int64(len(s.ingressLoss) + len(s.egressLoss) + len(s.blackholes))
+		s.ingressLoss = make(map[node.Addr]float64)
+		s.egressLoss = make(map[node.Addr]float64)
+		s.blackholes = make(map[[2]node.Addr]bool)
+		s.mu.Unlock()
+		n.faultRules.Add(-removed)
+	}
 }
 
 // --- bandwidth accounting ---------------------------------------------------
 
 func (n *Network) recorder(addr node.Addr) *metrics.BandwidthRecorder {
-	n.recMu.Lock()
-	defer n.recMu.Unlock()
-	r, ok := n.recorders[addr]
+	s := n.shardFor(addr)
+	s.recMu.Lock()
+	defer s.recMu.Unlock()
+	r, ok := s.recorders[addr]
 	if !ok {
 		r = metrics.NewBandwidthRecorder(n.start, time.Second)
-		n.recorders[addr] = r
+		s.recorders[addr] = r
 	}
 	return r
 }
@@ -311,42 +537,54 @@ func (n *Network) account(from, to node.Addr, req *remoting.Request, resp *remot
 
 // --- delivery ---------------------------------------------------------------
 
-func (n *Network) chance(p float64) bool {
+// chance draws one drop decision from the shard's private RNG. Sharding the
+// RNG keeps decisions reproducible per shard for a fixed seed and send order
+// without a global lock.
+func (s *shard) chance(p float64) bool {
 	if p <= 0 {
 		return false
 	}
 	if p >= 1 {
 		return true
 	}
-	n.rngMu.Lock()
-	defer n.rngMu.Unlock()
-	return n.rng.Float64() < p
+	s.rngMu.Lock()
+	defer s.rngMu.Unlock()
+	return s.rng.Float64() < p
 }
 
-// allowed checks the fault rules for a packet from src to dst.
+// allowed checks the fault rules for a packet from src to dst. With no rules
+// installed anywhere — the common case — it is two atomic loads.
 func (n *Network) allowed(src, dst node.Addr) bool {
-	n.mu.RLock()
-	egress := n.egressLoss[src]
-	ingress := n.ingressLoss[dst]
-	blocked := n.blackholes[[2]node.Addr{src, dst}]
-	crashed := n.crashed[src]
-	n.mu.RUnlock()
+	if n.faultRules.Load() == 0 && n.crashedCount.Load() == 0 {
+		return true
+	}
+	ss := n.shardFor(src)
+	ss.mu.RLock()
+	egress := ss.egressLoss[src]
+	blocked := ss.blackholes[[2]node.Addr{src, dst}]
+	crashed := ss.crashed[src]
+	ss.mu.RUnlock()
 	if blocked || crashed {
 		return false
 	}
-	if n.chance(egress) {
+	ds := n.shardFor(dst)
+	ds.mu.RLock()
+	ingress := ds.ingressLoss[dst]
+	ds.mu.RUnlock()
+	if ss.chance(egress) {
 		return false
 	}
-	if n.chance(ingress) {
+	if ds.chance(ingress) {
 		return false
 	}
 	return true
 }
 
 func (n *Network) lookup(addr node.Addr) (*endpointState, bool) {
-	n.mu.RLock()
-	defer n.mu.RUnlock()
-	st, ok := n.endpoints[addr]
+	s := n.shardFor(addr)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st, ok := s.endpoints[addr]
 	return st, ok
 }
 
@@ -362,7 +600,7 @@ type client struct {
 // responses.
 func (c *client) Send(ctx context.Context, to node.Addr, req *remoting.Request) (*remoting.Response, error) {
 	n := c.net
-	n.countMessage(req)
+	n.shardFor(c.from).countMessage(req)
 	if n.latency > 0 {
 		n.clock.Sleep(n.latency)
 	}
@@ -389,11 +627,13 @@ func (c *client) Send(ctx context.Context, to node.Addr, req *remoting.Request) 
 }
 
 // SendBestEffort implements transport.Client: the message is queued on the
-// destination's inbox if the fault rules allow it, and silently dropped
-// otherwise (or if the inbox is full).
+// destination shard if the fault rules allow it, and silently dropped
+// otherwise (or if the destination's backlog or the shard queue is full).
+// The steady-state path performs no allocation: delivery events come from a
+// pool and per-kind counters are pre-existing atomics.
 func (c *client) SendBestEffort(to node.Addr, req *remoting.Request) {
 	n := c.net
-	n.countMessage(req)
+	n.shardFor(c.from).countMessage(req)
 	if !n.allowed(c.from, to) {
 		return
 	}
@@ -401,12 +641,15 @@ func (c *client) SendBestEffort(to node.Addr, req *remoting.Request) {
 	if !ok {
 		return
 	}
-	n.account(c.from, to, req, nil)
-	select {
-	case st.inbox <- asyncMsg{from: c.from, req: req}:
-	default:
-		// Queue overflow: drop, like UDP under load.
+	// Backlog bound per destination, like a UDP socket buffer under load.
+	if int(st.pending.Add(1)) > n.inboxSize {
+		st.pending.Add(-1)
+		return
 	}
+	n.account(c.from, to, req, nil)
+	ev := eventPool.Get().(*deliveryEvent)
+	ev.from, ev.req, ev.st = c.from, req, st
+	n.shardFor(to).queue.push(ev)
 }
 
 var _ transport.Network = (*Network)(nil)
