@@ -18,6 +18,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -31,13 +32,16 @@ import (
 
 func main() {
 	var (
-		expName  = flag.String("exp", "all", "experiment to run (fig1,fig5,fig8,fig9,fig10,table2,fig11,fig12,fig13,broadcast,eigen,all,bootstrap)")
-		scale    = flag.Float64("scale", 50, "time compression factor (50 = 1 paper-second -> 20ms)")
-		n        = flag.Int("n", 60, "cluster size for failure experiments")
-		sizes    = flag.String("sizes", "30,60,100", "comma-separated cluster sizes for bootstrap experiments (bootstrap default: 100,500,1000,2000)")
-		seed     = flag.Int64("seed", 1, "random seed")
-		shards   = flag.Int("shards", 0, "bootstrap experiment only: simnet delivery shards (0 = default); raise with available cores for 1000+ node runs")
-		joinconc = flag.Int("joinconc", 0, "bootstrap experiment only: max concurrent joins (0 = all at once)")
+		expName   = flag.String("exp", "all", "experiment to run (fig1,fig5,fig8,fig9,fig10,table2,fig11,fig12,fig13,broadcast,eigen,all,bootstrap)")
+		scale     = flag.Float64("scale", 50, "time compression factor (50 = 1 paper-second -> 20ms)")
+		n         = flag.Int("n", 60, "cluster size for failure experiments")
+		sizes     = flag.String("sizes", "30,60,100", "comma-separated cluster sizes for bootstrap experiments (bootstrap default: 100,500,1000,2000)")
+		seed      = flag.Int64("seed", 1, "random seed")
+		shards    = flag.Int("shards", 0, "bootstrap experiment only: simnet delivery shards (0 = default); raise with available cores for 1000+ node runs")
+		joinconc  = flag.Int("joinconc", 0, "bootstrap experiment only: max concurrent joins (0 = all at once)")
+		batchMin  = flag.Duration("batch-min", 0, "bootstrap experiment only: adaptive batching window floor (0 = scaled default)")
+		batchMax  = flag.Duration("batch-max", 0, "bootstrap experiment only: adaptive batching window ceiling (0 = scaled default)")
+		benchJSON = flag.String("bench-json", "", "bootstrap experiment only: write the sweep results as JSON to this path")
 	)
 	flag.Parse()
 
@@ -159,11 +163,22 @@ func main() {
 			if !sizesSet {
 				sweep = []int{100, 500, 1000, 2000}
 			}
-			_, err := experiments.RunBootstrapConvergence(cfg, sweep, experiments.ConvergenceOptions{
-				JoinConcurrency: *joinconc,
-				Shards:          *shards,
+			points, err := experiments.RunBootstrapConvergence(cfg, sweep, experiments.ConvergenceOptions{
+				JoinConcurrency:   *joinconc,
+				Shards:            *shards,
+				BatchingWindowMin: *batchMin,
+				BatchingWindowMax: *batchMax,
 			})
-			return err
+			if err != nil {
+				return err
+			}
+			if *benchJSON != "" {
+				if err := writeBenchJSON(*benchJSON, cfg, points); err != nil {
+					return fmt.Errorf("write -bench-json: %w", err)
+				}
+				fmt.Printf("wrote %s\n", *benchJSON)
+			}
+			return nil
 		})
 	}
 	if want("eigen") {
@@ -172,6 +187,62 @@ func main() {
 			return nil
 		})
 	}
+}
+
+// benchPoint is the machine-readable form of one bootstrap sweep row.
+// Latencies are reported in paper-seconds (wall time times the run's time
+// scale) so files from runs at different -scale values stay comparable;
+// wall_seconds carries the uncompressed duration.
+type benchPoint struct {
+	N                int     `json:"n"`
+	Converged        bool    `json:"converged"`
+	ConvergePaperS   float64 `json:"converge_paper_s"`
+	JoinP50PaperS    float64 `json:"join_p50_paper_s"`
+	JoinP90PaperS    float64 `json:"join_p90_paper_s"`
+	JoinP99PaperS    float64 `json:"join_p99_paper_s"`
+	WallSeconds      float64 `json:"wall_seconds"`
+	Messages         int64   `json:"messages"`
+	MsgsPerNode      float64 `json:"msgs_per_node"`
+	ShedBatches      int64   `json:"shed_batches"`
+	QueueFullSeconds float64 `json:"queue_full_seconds"`
+	MinBatchWindowMs float64 `json:"min_batch_window_ms"`
+	MaxBatchWindowMs float64 `json:"max_batch_window_ms"`
+}
+
+// benchFile is the envelope written by -bench-json.
+type benchFile struct {
+	Experiment string       `json:"experiment"`
+	TimeScale  float64      `json:"time_scale"`
+	Seed       int64        `json:"seed"`
+	Points     []benchPoint `json:"points"`
+}
+
+// writeBenchJSON records the bootstrap sweep so future changes have a
+// machine-readable performance trajectory to diff against.
+func writeBenchJSON(path string, cfg experiments.Config, points []experiments.BootstrapConvergencePoint) error {
+	out := benchFile{Experiment: "bootstrap", TimeScale: cfg.TimeScale, Seed: cfg.Seed}
+	for _, p := range points {
+		out.Points = append(out.Points, benchPoint{
+			N:                p.N,
+			Converged:        p.Converged,
+			ConvergePaperS:   p.ConvergenceTime.Seconds() * cfg.TimeScale,
+			JoinP50PaperS:    p.JoinP50.Seconds() * cfg.TimeScale,
+			JoinP90PaperS:    p.JoinP90.Seconds() * cfg.TimeScale,
+			JoinP99PaperS:    p.JoinP99.Seconds() * cfg.TimeScale,
+			WallSeconds:      p.ConvergenceTime.Seconds(),
+			Messages:         p.Messages,
+			MsgsPerNode:      float64(p.Messages) / float64(p.N),
+			ShedBatches:      p.ShedBatches,
+			QueueFullSeconds: p.QueueFullTime.Seconds(),
+			MinBatchWindowMs: float64(p.MinBatchWindow) / float64(time.Millisecond),
+			MaxBatchWindowMs: float64(p.MaxBatchWindow) / float64(time.Millisecond),
+		})
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 func parseSizes(s string) ([]int, error) {

@@ -52,14 +52,14 @@ func main() {
 	// exactly like the nginx + Serf/Rapid agent setup in the paper.
 	lb := discovery.NewLoadBalancer(addrsOf(seed), discovery.DefaultOptions().Scaled(10))
 	seed.Subscribe(func(vc rapid.ViewChange) {
-		var backends []rapid.Addr
-		for _, m := range vc.Members {
-			backends = append(backends, m.Addr)
-		}
-		lb.UpdateBackends(backends)
+		lb.UpdateFromEndpoints(vc.Members)
 		fmt.Printf("load balancer reconfigured: %d backends (%d reloads so far)\n",
-			len(backends), lb.Reloads())
+			len(vc.Members), lb.Reloads())
 	})
+	// Seed with the current view so a change installed before the
+	// subscription existed is not missed; SeedFromEndpoints yields to any
+	// concurrently pushed (newer) view.
+	lb.SeedFromEndpoints(seed.Members())
 
 	fmt.Println("serving requests...")
 	before := lb.RunWorkload(500, 300*time.Millisecond)

@@ -52,11 +52,19 @@ func main() {
 	fmt.Printf("data platform formed: %d servers, serialization server is %s\n",
 		seed.Size(), addrs[0])
 
-	// The platform consults Rapid (through a server that is not the
-	// serialization server) for its membership decisions.
+	// The platform follows Rapid's view-change stream (through a server that
+	// is not the serialization server) instead of polling the member list:
+	// every installed view is pushed into the platform as it happens.
 	coordinator := clusters[1]
-	platform := txn.NewPlatform(addrs, rapidSource{coordinator}, txn.DefaultOptions().Scaled(10))
+	platform := txn.NewPlatform(addrs, nil, txn.DefaultOptions().Scaled(10))
 	defer platform.Stop()
+	coordinator.Subscribe(func(vc rapid.ViewChange) {
+		platform.ApplyEndpoints(vc.Members)
+	})
+	// Seed with the current view: a change installed before the subscription
+	// existed would otherwise never reach the platform. SeedEndpoints yields
+	// to any concurrently pushed (newer) view.
+	platform.SeedEndpoints(coordinator.Members())
 
 	fmt.Println("running an update-heavy workload...")
 	steady := platform.RunWorkload(4, 400*time.Millisecond)
@@ -76,17 +84,6 @@ func main() {
 	for _, c := range clusters {
 		c.Stop()
 	}
-}
-
-// rapidSource adapts a Rapid cluster handle to the platform's membership API.
-type rapidSource struct{ c *rapid.Cluster }
-
-func (s rapidSource) AliveServers() []rapid.Addr {
-	var out []rapid.Addr
-	for _, m := range s.c.Members() {
-		out = append(out, m.Addr)
-	}
-	return out
 }
 
 func waitFor(cond func() bool) {

@@ -10,6 +10,11 @@
 // Serf/Memberlist delivers the failures as several independent membership
 // updates, causing multiple reloads and repeated latency spikes, whereas
 // Rapid delivers one multi-node change and a single reload.
+//
+// The load balancer is push-driven: wire UpdateFromEndpoints (or
+// UpdateBackends) into the membership layer's view-change subscriber stream.
+// Only membership baselines without a notification stream (SWIM/Memberlist)
+// need to poll and call UpdateBackends on a timer.
 package discovery
 
 import (
@@ -74,6 +79,10 @@ type LoadBalancer struct {
 	reloadUntil time.Time
 	reloads     int
 	rrIndex     int
+	// pushed records that at least one membership update has been applied,
+	// so SeedFromEndpoints cannot overwrite a newer concurrently-pushed view
+	// with the possibly stale read it was seeded from.
+	pushed bool
 }
 
 // NewLoadBalancer creates a load balancer with an initial backend list.
@@ -87,14 +96,45 @@ func NewLoadBalancer(backends []node.Addr, opts Options) *LoadBalancer {
 	}
 }
 
+// UpdateFromEndpoints installs the backend list carried by a membership
+// view-change notification. It is the push-driven entry point: subscribe it
+// (via a closure) to the membership service's view-change stream instead of
+// polling the member list, then call SeedFromEndpoints once so a change
+// installed before the subscription is not missed.
+func (lb *LoadBalancer) UpdateFromEndpoints(members []node.Endpoint) {
+	lb.update(node.EndpointAddrs(members), false)
+}
+
+// SeedFromEndpoints applies the membership read taken immediately after
+// subscribing to the view-change stream. It is a no-op once any pushed
+// update has been applied: a subscriber callback racing this call always
+// carries a view at least as new as the seed read, so discarding the seed in
+// that case can never lose a transition.
+func (lb *LoadBalancer) SeedFromEndpoints(members []node.Endpoint) {
+	lb.update(node.EndpointAddrs(members), true)
+}
+
 // UpdateBackends installs a new backend list, as the membership service's
 // view-change callback would. Every call that changes the list triggers a
 // configuration reload.
 func (lb *LoadBalancer) UpdateBackends(backends []node.Addr) {
+	lb.update(backends, false)
+}
+
+// update applies one backend-list observation; the seed/push check happens
+// under the same lock as the application, so a seed can never interleave
+// past a concurrent push.
+func (lb *LoadBalancer) update(backends []node.Addr, seed bool) {
 	sorted := append([]node.Addr(nil), backends...)
 	node.SortAddrs(sorted)
 	lb.mu.Lock()
 	defer lb.mu.Unlock()
+	if seed && lb.pushed {
+		return
+	}
+	if !seed {
+		lb.pushed = true
+	}
 	if equalAddrs(lb.backends, sorted) {
 		return
 	}

@@ -46,6 +46,33 @@ func TestUpdateBackendsTriggersReloadOnce(t *testing.T) {
 	}
 }
 
+// TestSeedFromEndpointsYieldsToPushes pins the subscribe-then-seed contract:
+// a seed read applies when it arrives first, but never overwrites a backend
+// list a pushed view change has already installed.
+func TestSeedFromEndpointsYieldsToPushes(t *testing.T) {
+	eps := func(n int) []node.Endpoint {
+		out := make([]node.Endpoint, n)
+		for i, a := range backends(n) {
+			out[i] = node.Endpoint{Addr: a}
+		}
+		return out
+	}
+
+	lb := NewLoadBalancer(backends(10), fastOpts())
+	lb.SeedFromEndpoints(eps(8))
+	if len(lb.Backends()) != 8 {
+		t.Fatalf("seed before any push should apply, backends=%d", len(lb.Backends()))
+	}
+
+	lb2 := NewLoadBalancer(backends(10), fastOpts())
+	lb2.UpdateFromEndpoints(eps(7)) // pushed view change
+	lb2.SeedFromEndpoints(eps(10))  // stale seed read
+	if len(lb2.Backends()) != 7 || lb2.Reloads() != 1 {
+		t.Fatalf("stale seed overwrote a pushed view: backends=%d reloads=%d",
+			len(lb2.Backends()), lb2.Reloads())
+	}
+}
+
 func TestReloadPenaltyApplied(t *testing.T) {
 	opts := fastOpts()
 	lb := NewLoadBalancer(backends(10), opts)

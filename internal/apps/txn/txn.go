@@ -24,7 +24,12 @@ import (
 	"repro/internal/node"
 )
 
-// MembershipSource abstracts the membership layer feeding the platform.
+// MembershipSource abstracts a membership layer that must be polled (the
+// baseline all-to-all gossip failure detector has no notification stream).
+// Rapid-backed platforms do not poll: they pass a nil source to NewPlatform
+// and push every view change through ApplyMembership from a subscriber
+// callback, which is safe because Rapid delivers notifications off the
+// protocol path and bounds the pending queue for slow consumers.
 type MembershipSource interface {
 	// AliveServers returns the servers currently believed alive.
 	AliveServers() []node.Addr
@@ -84,11 +89,19 @@ type Platform struct {
 	stopped         bool
 	lastMembership  map[node.Addr]bool
 	membershipFlaps int
+	// pushed records that at least one membership view has been applied, so
+	// SeedEndpoints cannot overwrite a newer concurrently-pushed view with
+	// the possibly stale read it was seeded from.
+	pushed bool
 }
 
 // NewPlatform creates a platform over the given data servers. The
 // serialization server is always the lexicographically smallest alive server,
 // which mirrors "the system has only one active serialization server".
+//
+// A non-nil source is polled every CheckInterval. A nil source starts no
+// polling loop: the caller pushes membership changes through ApplyMembership
+// (typically from a view-change subscriber callback).
 func NewPlatform(servers []node.Addr, source MembershipSource, opts Options) *Platform {
 	sorted := append([]node.Addr(nil), servers...)
 	node.SortAddrs(sorted)
@@ -103,8 +116,10 @@ func NewPlatform(servers []node.Addr, source MembershipSource, opts Options) *Pl
 	for _, s := range sorted {
 		p.lastMembership[s] = true
 	}
-	p.wg.Add(1)
-	go p.watchLoop()
+	if source != nil {
+		p.wg.Add(1)
+		go p.watchLoop()
+	}
 	return p
 }
 
@@ -152,9 +167,7 @@ func (p *Platform) pickSerializationServer(alive []node.Addr) node.Addr {
 	return sorted[0]
 }
 
-// watchLoop reacts to membership changes: if the serialization server is no
-// longer in the membership, a failover begins (pausing transactions for
-// FailoverPause) and a new serialization server is selected.
+// watchLoop polls a MembershipSource that has no notification stream.
 func (p *Platform) watchLoop() {
 	defer p.wg.Done()
 	// A single reused ticker: time.After inside the loop would allocate a new
@@ -171,33 +184,73 @@ func (p *Platform) watchLoop() {
 			return
 		case <-ticker.C:
 		}
-		alive := p.source.AliveServers()
-		aliveSet := make(map[node.Addr]bool, len(alive))
-		for _, a := range alive {
-			aliveSet[a] = true
-		}
-		p.mu.Lock()
-		for _, s := range p.servers {
-			if p.lastMembership[s] != aliveSet[s] {
-				p.membershipFlaps++
-				p.lastMembership[s] = aliveSet[s]
-			}
-		}
-		// The serialization-server role follows a fixed priority order over
-		// the alive set, so any membership change that alters the preferred
-		// holder — removal of the current one, or reappearance of a
-		// higher-priority one — forces a reconfiguration. This is what makes
-		// a flapping failure detector so damaging in Figure 12.
-		preferred := p.pickSerializationServer(alive)
-		if preferred != p.serialization {
-			if p.serialization != "" || preferred == "" {
-				p.failovers++
-				p.failoverUntil = time.Now().Add(p.opts.FailoverPause)
-			}
-			p.serialization = preferred
-		}
-		p.mu.Unlock()
+		p.ApplyMembership(p.source.AliveServers())
 	}
+}
+
+// ApplyEndpoints is ApplyMembership for a membership service's native
+// view-change payload: subscribe it (via a closure) to the view-change
+// stream, then call SeedEndpoints once with the current member list so a
+// change installed before the subscription is not missed.
+func (p *Platform) ApplyEndpoints(members []node.Endpoint) {
+	p.ApplyMembership(node.EndpointAddrs(members))
+}
+
+// SeedEndpoints applies the membership read taken immediately after
+// subscribing to the view-change stream. It is a no-op once any pushed view
+// has been applied: a subscriber callback racing this call always carries a
+// view at least as new as the seed read (the read happens after Subscribe,
+// and notifications are delivered in order), so discarding the seed in that
+// case can never lose a transition.
+func (p *Platform) SeedEndpoints(members []node.Endpoint) {
+	p.applyMembership(node.EndpointAddrs(members), true)
+}
+
+// ApplyMembership reacts to a membership change: if the serialization server
+// is no longer in the alive set, a failover begins (pausing transactions for
+// FailoverPause) and a new serialization server is selected. Push-driven
+// platforms call it from their membership layer's subscriber callback;
+// polling platforms call it from watchLoop.
+func (p *Platform) ApplyMembership(alive []node.Addr) {
+	p.applyMembership(alive, false)
+}
+
+// applyMembership applies one membership observation; the seed/push check
+// happens under the same lock as the application, so a seed can never
+// interleave past a concurrent push.
+func (p *Platform) applyMembership(alive []node.Addr, seed bool) {
+	aliveSet := make(map[node.Addr]bool, len(alive))
+	for _, a := range alive {
+		aliveSet[a] = true
+	}
+	p.mu.Lock()
+	if seed && p.pushed {
+		p.mu.Unlock()
+		return
+	}
+	if !seed {
+		p.pushed = true
+	}
+	for _, s := range p.servers {
+		if p.lastMembership[s] != aliveSet[s] {
+			p.membershipFlaps++
+			p.lastMembership[s] = aliveSet[s]
+		}
+	}
+	// The serialization-server role follows a fixed priority order over
+	// the alive set, so any membership change that alters the preferred
+	// holder — removal of the current one, or reappearance of a
+	// higher-priority one — forces a reconfiguration. This is what makes
+	// a flapping failure detector so damaging in Figure 12.
+	preferred := p.pickSerializationServer(alive)
+	if preferred != p.serialization {
+		if p.serialization != "" || preferred == "" {
+			p.failovers++
+			p.failoverUntil = time.Now().Add(p.opts.FailoverPause)
+		}
+		p.serialization = preferred
+	}
+	p.mu.Unlock()
 }
 
 // TxnResult is one transaction's outcome.

@@ -47,6 +47,62 @@ func TestStableMembershipNoFailovers(t *testing.T) {
 	}
 }
 
+// TestPushDrivenMembership exercises the subscriber-stream entry point: a
+// platform built without a polling source reacts to ApplyMembership pushes
+// immediately, with no watch loop running.
+func TestPushDrivenMembership(t *testing.T) {
+	s := servers(4)
+	p := NewPlatform(s, nil, fastOpts())
+	defer p.Stop()
+	if p.SerializationServer() != s[0] {
+		t.Fatalf("serialization server = %v, want %v", p.SerializationServer(), s[0])
+	}
+	// Pushing the removal of the serialization server fails over synchronously.
+	p.ApplyMembership(s[1:])
+	if p.Failovers() != 1 {
+		t.Fatalf("failovers = %d, want 1 after pushed removal", p.Failovers())
+	}
+	if p.SerializationServer() != s[1] {
+		t.Fatalf("serialization server = %v, want %v", p.SerializationServer(), s[1])
+	}
+	if p.MembershipFlaps() != 1 {
+		t.Fatalf("flaps = %d, want 1", p.MembershipFlaps())
+	}
+	// An identical push is a no-op.
+	p.ApplyMembership(s[1:])
+	if p.Failovers() != 1 || p.MembershipFlaps() != 1 {
+		t.Fatalf("idempotent push changed state: failovers=%d flaps=%d", p.Failovers(), p.MembershipFlaps())
+	}
+}
+
+// TestSeedEndpointsYieldsToPushes pins the subscribe-then-seed contract: a
+// seed read applies when it arrives first, but never overwrites state a
+// pushed view change has already installed.
+func TestSeedEndpointsYieldsToPushes(t *testing.T) {
+	s := servers(3)
+	eps := make([]node.Endpoint, len(s))
+	for i, a := range s {
+		eps[i] = node.Endpoint{Addr: a}
+	}
+
+	// Seed first: it applies (here the removal of the serialization server).
+	p := NewPlatform(s, nil, fastOpts())
+	defer p.Stop()
+	p.SeedEndpoints(eps[1:])
+	if p.SerializationServer() != s[1] {
+		t.Fatalf("seed before any push should apply, server=%v", p.SerializationServer())
+	}
+
+	// Push first: the (stale) seed must be discarded.
+	q := NewPlatform(s, nil, fastOpts())
+	defer q.Stop()
+	q.ApplyEndpoints(eps[1:]) // pushed view: s[0] is gone
+	q.SeedEndpoints(eps)      // stale seed read claims s[0] is alive
+	if q.SerializationServer() != s[1] {
+		t.Fatalf("stale seed overwrote a pushed view, server=%v", q.SerializationServer())
+	}
+}
+
 func TestMembershipRemovalTriggersFailoverAndPause(t *testing.T) {
 	s := servers(4)
 	src := NewStaticMembership(s)

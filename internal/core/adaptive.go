@@ -1,0 +1,90 @@
+package core
+
+import "time"
+
+// This file implements the engine's adaptive batching-window controller. The
+// paper batches alerts and votes on a fixed window (§6); a constant is wrong
+// at both ends of the load spectrum. Quiet clusters pay the full window of
+// latency on every join and every isolated alert even though there is nothing
+// to coalesce, while a bootstrap storm at N=1000+ would amortize its O(N)
+// broadcast cost much better with a window several times larger. The
+// controller therefore resizes the flush window between a configured floor
+// and ceiling after every flush, from two signals the engine already owns:
+// the depth of its inbound event queue and the number of data-plane events
+// that arrived during the window just flushed (the alert arrival rate).
+
+// Controller thresholds. The queue fraction is relative to EventQueueSize, so
+// the policy scales with the configured queue rather than hard-coding depths.
+const (
+	// growQueueFraction: a queue holding more than 1/8 of its capacity means
+	// batches are arriving faster than the engine applies them — grow the
+	// window so this process contributes fewer, larger batches to the storm.
+	growQueueFraction = 8
+	// growArrivals: with a healthy queue, this many data events inside one
+	// ceiling-length window is storm-level traffic (a steady cluster sees
+	// none — members only flush when they have pending alerts or votes). The
+	// per-window threshold scales with the window so it expresses an arrival
+	// *rate*: a short window must not need the same absolute count as the
+	// ceiling to react.
+	growArrivals = 32
+	// minGrowArrivals floors the scaled threshold so single stray events
+	// cannot grow a floor-length window.
+	minGrowArrivals = 4
+	// shrinkArrivals: at or below this many arrivals per window, with an
+	// empty queue, the cluster is quiet and the window decays toward the
+	// floor for minimum-latency flushes.
+	shrinkArrivals = 2
+)
+
+// windowController holds the adaptive flush window. It is engine-goroutine
+// state: retune is only called from the engine loop, between flushes.
+type windowController struct {
+	floor   time.Duration
+	ceiling time.Duration
+	window  time.Duration
+}
+
+// newWindowController starts at the configured legacy window (clamped into
+// the floor/ceiling range) rather than at the floor: engines frequently boot
+// mid-storm — every admitted joiner starts one — and a floor-rate flusher is
+// the worst thing to add to a storm. A quiet engine decays to the floor
+// within a few flushes anyway (halving per tick).
+func newWindowController(floor, ceiling, start time.Duration) windowController {
+	if start < floor {
+		start = floor
+	}
+	if start > ceiling {
+		start = ceiling
+	}
+	return windowController{floor: floor, ceiling: ceiling, window: start}
+}
+
+// retune computes the next flush window from the live queue depth (and its
+// capacity) plus the number of data-plane events dispatched during the window
+// that just ended. Multiplicative increase/decrease gives the window
+// hysteresis: a single quiet tick in mid-storm halves the window once rather
+// than collapsing it, and one busy tick on an idle cluster doubles it once
+// rather than pinning it to the ceiling.
+func (w *windowController) retune(queueDepth, queueCap int, arrivals int) time.Duration {
+	growDepth := queueCap / growQueueFraction
+	if growDepth < 1 {
+		growDepth = 1
+	}
+	growAt := int(int64(growArrivals) * int64(w.window) / int64(w.ceiling))
+	if growAt < minGrowArrivals {
+		growAt = minGrowArrivals
+	}
+	switch {
+	case queueDepth >= growDepth || arrivals >= growAt:
+		w.window *= 2
+		if w.window > w.ceiling {
+			w.window = w.ceiling
+		}
+	case queueDepth == 0 && arrivals <= shrinkArrivals:
+		w.window /= 2
+		if w.window < w.floor {
+			w.window = w.floor
+		}
+	}
+	return w.window
+}

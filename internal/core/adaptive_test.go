@@ -1,0 +1,145 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/remoting"
+	"repro/internal/simclock"
+	"repro/internal/simnet"
+)
+
+func TestWindowControllerGrowsAndShrinks(t *testing.T) {
+	const floor, ceiling = 10 * time.Millisecond, 160 * time.Millisecond
+	w := newWindowController(floor, ceiling, 40*time.Millisecond)
+	if w.window != 40*time.Millisecond {
+		t.Fatalf("controller should start at the clamped legacy window, got %v", w.window)
+	}
+	if c := newWindowController(floor, ceiling, time.Millisecond); c.window != floor {
+		t.Fatalf("start below the floor should clamp to it, got %v", c.window)
+	}
+	if c := newWindowController(floor, ceiling, time.Second); c.window != ceiling {
+		t.Fatalf("start above the ceiling should clamp to it, got %v", c.window)
+	}
+
+	// A deep queue doubles the window per retune until the ceiling holds.
+	for i, want := range []time.Duration{80, 160, 160} {
+		if got := w.retune(512, 1024, 0); got != want*time.Millisecond {
+			t.Fatalf("retune %d under deep queue: got %v, want %v", i, got, want*time.Millisecond)
+		}
+	}
+
+	// Idle retunes collapse back to the floor and stay there.
+	for i, want := range []time.Duration{80, 40, 20, 10, 10} {
+		if got := w.retune(0, 1024, 0); got != want*time.Millisecond {
+			t.Fatalf("idle retune %d: got %v, want %v", i, got, want*time.Millisecond)
+		}
+	}
+
+	// The arrival threshold is a rate: at the floor a handful of events in
+	// the short window already signals a storm (minGrowArrivals)...
+	if got := w.retune(0, 1024, minGrowArrivals); got != 2*floor {
+		t.Fatalf("arrival storm at the floor should grow the window: got %v", got)
+	}
+	// ...while the same absolute count does not move a ceiling-length window
+	// (32*160/160 = 32 needed), so moderate load holds steady.
+	w.window = ceiling
+	if got := w.retune(4, 1024, growArrivals-1); got != ceiling {
+		t.Fatalf("moderate load should hold the window at the ceiling, got %v", got)
+	}
+}
+
+// TestAdaptiveWindowOnManualClock drives a live engine with a manual clock:
+// idle flush ticks must collapse the window from its starting value to the
+// floor, and a synthetic alert storm must then grow it to the ceiling.
+func TestAdaptiveWindowOnManualClock(t *testing.T) {
+	clk := simclock.NewManual(time.Unix(0, 0))
+	net := simnet.New(simnet.Options{Seed: 99})
+	s := DefaultSettings()
+	s.Clock = clk
+	s.BatchingWindow = 40 * time.Millisecond
+	s.BatchingWindowMin = 10 * time.Millisecond
+	s.BatchingWindowMax = 160 * time.Millisecond
+	c, err := StartCluster("seed:1", s, net)
+	if err != nil {
+		t.Fatalf("StartCluster: %v", err)
+	}
+	defer func() {
+		// Stop blocks on manual-clock sleepers (join retry etc.) only if any
+		// exist; the engine itself exits via stopCh.
+		go clk.Advance(time.Hour)
+		c.Stop()
+	}()
+
+	// Wait until the engine armed its flush timer and reinforcement ticker,
+	// so clock advances cannot race the loop's startup.
+	if !waitUntil(t, 5*time.Second, func() bool { return clk.PendingWaiters() >= 2 }) {
+		t.Fatal("engine never armed its timers")
+	}
+	if got := c.Stats().BatchWindow; got != s.BatchingWindow {
+		t.Fatalf("window should start at the legacy BatchingWindow, got %v", got)
+	}
+
+	// storm sends enough current-configuration alert batches to cross the
+	// controller's arrival threshold. The alerts name a subject that is not a
+	// member, so the cut detector ignores their content entirely — the test
+	// exercises arrival accounting, not cut detection.
+	storm := func() {
+		configID := c.ConfigurationID()
+		for i := 0; i < 2*growArrivals; i++ {
+			req := &remoting.Request{Alerts: &remoting.BatchedAlertMessage{
+				Sender: "storm:1",
+				Seq:    uint64(i),
+				Alerts: []remoting.AlertMessage{{
+					EdgeSrc:         "storm:1",
+					EdgeDst:         "ghost:1",
+					Status:          remoting.EdgeDown,
+					ConfigurationID: configID,
+					RingNumbers:     []int{0},
+				}},
+			}}
+			if _, err := c.HandleRequest(context.Background(), "storm:1", req); err != nil {
+				t.Fatalf("HandleRequest: %v", err)
+			}
+		}
+	}
+
+	// advanceUntil fires flush ticks (optionally re-storming before each) and
+	// waits for the engine to publish the expected window.
+	advanceUntil := func(want time.Duration, stormEachTick bool) {
+		t.Helper()
+		for i := 0; i < 20; i++ {
+			if stormEachTick {
+				storm()
+				// The engine must have dispatched the storm before the flush
+				// tick retunes, or arrivals would still be zero.
+				if !waitUntil(t, 5*time.Second, func() bool { return c.Stats().QueueDepth == 0 }) {
+					t.Fatal("engine did not drain the synthetic storm")
+				}
+			}
+			window := c.Stats().BatchWindow
+			clk.Advance(window)
+			if !waitUntil(t, 5*time.Second, func() bool {
+				return c.Stats().BatchWindow != window || window == want
+			}) {
+				t.Fatalf("flush tick did not retune the window from %v", window)
+			}
+			// Only advance again once the timer is re-armed for the new window.
+			if !waitUntil(t, 5*time.Second, func() bool { return clk.PendingWaiters() >= 2 }) {
+				t.Fatal("flush timer was not re-armed")
+			}
+			if c.Stats().BatchWindow == want {
+				return
+			}
+		}
+		t.Fatalf("window never reached %v (at %v)", want, c.Stats().BatchWindow)
+	}
+
+	advanceUntil(s.BatchingWindowMin, false) // idle: collapse to the floor
+	advanceUntil(s.BatchingWindowMax, true)  // storm: grow to the ceiling
+
+	if shed := c.Stats().ShedBatches; shed != 0 {
+		t.Fatalf("current-configuration storm must not be shed, got %d", shed)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/broadcast"
 	"repro/internal/edgefd"
@@ -41,14 +42,24 @@ type ViewChange struct {
 	// Members is the full membership of the new configuration.
 	Members []node.Endpoint
 	// Changes lists the endpoints added or removed relative to the previous
-	// configuration.
+	// configuration the subscriber was notified of.
 	Changes []StatusChange
+	// Coalesced is the gap marker for slow subscribers: when the bounded
+	// notification queue (Settings.NotifierQueueBound) overflows, pending
+	// view changes are merged and Coalesced counts how many separate view
+	// changes this notification absorbed. Zero in normal operation; when
+	// non-zero, Members and Changes describe the net transition across the
+	// gap, not each intermediate configuration.
+	Coalesced int
 }
 
 // Subscriber receives view-change notifications. Callbacks are invoked in
 // order from a dedicated delivery goroutine, off the protocol path, so they
-// may block without stalling the membership service. A callback already in
-// flight when Stop is called may complete after Stop returns.
+// may block without stalling the membership service. A callback that stays
+// blocked for more than Settings.NotifierQueueBound view changes starts
+// receiving coalesced notifications (ViewChange.Coalesced > 0) instead of
+// growing the pending queue without bound. A callback already in flight when
+// Stop is called may complete after Stop returns.
 type Subscriber func(ViewChange)
 
 // snapshot is the immutable membership state published by the engine after
@@ -59,7 +70,17 @@ type snapshot struct {
 	members     []node.Endpoint // sorted by address; treated as immutable
 	byAddr      map[node.Addr]node.Endpoint
 	viewChanges int
+	// pastConfigs are the identifiers of recent configurations this process
+	// has already moved past (bounded by maxPastConfigs). The protocol never
+	// revisits a configuration, so batches referencing only these can be
+	// shed under overload with zero information loss.
+	pastConfigs map[uint64]bool
 }
+
+// maxPastConfigs bounds the shed-eligibility history. It only needs to cover
+// configurations whose traffic may still be in flight; 32 view changes of
+// slack is far beyond any batch's network lifetime.
+const maxPastConfigs = 32
 
 // Cluster is one process' handle on the Rapid membership service. Create one
 // with StartCluster (to bootstrap a new cluster) or JoinCluster (to join an
@@ -92,8 +113,17 @@ type Cluster struct {
 	stopOnce sync.Once
 	wg       sync.WaitGroup
 
+	// shedWater is the event-queue high-water mark (3/4 of EventQueueSize):
+	// past it, inbound batches that are entirely stale are shed instead of
+	// enqueued, so an overloaded member never blocks its transport on
+	// traffic the engine would discard anyway.
+	shedWater int
+
 	started atomic.Bool
 	snap    atomic.Pointer[snapshot]
+	// pastRing orders the recent past configuration IDs for trimming. Only
+	// the engine goroutine (via publishSnapshot) touches it.
+	pastRing []uint64
 
 	notifier  *notifier
 	monitorCh chan []node.Addr
@@ -101,8 +131,9 @@ type Cluster struct {
 	emetrics EngineMetrics
 }
 
-// EngineMetrics instruments the protocol engine. The event queue depth is
-// not a stored metric: Stats() reads it live from the queue itself.
+// EngineMetrics instruments the protocol engine. The event queue depth and
+// the notifier queue depth are not stored metrics: Stats() reads them live
+// from the queues themselves.
 type EngineMetrics struct {
 	// EventsProcessed counts events applied by the engine goroutine.
 	EventsProcessed metrics.Counter
@@ -112,6 +143,17 @@ type EngineMetrics struct {
 	BatchSizes metrics.Distribution
 	// GossipDuplicates counts batches dropped by gossip deduplication.
 	GossipDuplicates metrics.Counter
+	// BatchWindow is the engine's current adaptive flush window, nanoseconds.
+	BatchWindow metrics.Gauge
+	// ShedBatches counts inbound alert/vote batches dropped by overload
+	// shedding (queue past its high-water mark, batch entirely stale).
+	ShedBatches metrics.Counter
+	// QueueFullNanos accumulates the time producers spent blocked on a full
+	// event queue (the backpressure the shedding policy exists to avoid).
+	QueueFullNanos metrics.Counter
+	// NotifierCoalesced counts view changes merged away by the bounded
+	// notification queue.
+	NotifierCoalesced metrics.Counter
 }
 
 // EngineStats is a point-in-time summary of the engine metrics.
@@ -121,6 +163,20 @@ type EngineStats struct {
 	BatchesSent      int64
 	BatchSizes       metrics.DistributionSummary
 	GossipDuplicates int64
+	// BatchWindow is the current adaptive flush window, sized between
+	// Settings.BatchingWindowMin and BatchingWindowMax by load.
+	BatchWindow time.Duration
+	// ShedBatches is the number of stale inbound batches dropped under
+	// overload instead of blocking the transport.
+	ShedBatches int64
+	// QueueFullTime is the cumulative time producers spent blocked on a full
+	// event queue.
+	QueueFullTime time.Duration
+	// NotifierDepth is the number of undelivered view-change notifications.
+	NotifierDepth int
+	// NotifierCoalesced is the number of view changes merged away because a
+	// slow subscriber hit the notification queue bound.
+	NotifierCoalesced int64
 }
 
 // StartCluster bootstraps a brand-new cluster consisting of just this
@@ -178,9 +234,13 @@ func newCluster(addr node.Addr, settings Settings, net transport.Network) (*Clus
 		events:    make(chan event, settings.EventQueueSize),
 		prio:      make(chan event, settings.EventQueueSize),
 		stopCh:    make(chan struct{}),
-		notifier:  newNotifier(),
+		shedWater: settings.EventQueueSize * 3 / 4,
 		monitorCh: make(chan []node.Addr, 1),
 	}
+	if c.shedWater < 1 {
+		c.shedWater = 1
+	}
+	c.notifier = newNotifier(settings.NotifierQueueBound, &c.emetrics.NotifierCoalesced)
 	switch settings.Broadcast {
 	case BroadcastGossip:
 		c.broadcaster = broadcast.NewGossip(client, me.Addr, settings.GossipFanout, int64(me.ID.Low))
@@ -204,14 +264,93 @@ func (c *Cluster) initialize(members []node.Endpoint) {
 }
 
 // enqueue submits an event to the engine, blocking if the queue is full
-// (backpressure). It returns false if the cluster stopped instead.
+// (backpressure). It returns false if the cluster stopped instead. Time spent
+// blocked on a full queue is accumulated in QueueFullNanos, so overload is
+// visible in EngineStats even when nothing is shed.
 func (c *Cluster) enqueue(ev event) bool {
+	select {
+	case c.events <- ev:
+		return true
+	default:
+	}
+	start := c.clock.Now()
+	defer func() {
+		c.emetrics.QueueFullNanos.Add(int64(c.clock.Since(start)))
+	}()
 	select {
 	case c.events <- ev:
 		return true
 	case <-c.stopCh:
 		return false
 	}
+}
+
+// enqueueBatch submits an inbound alert/vote batch with overload shedding.
+// Blocking the transport on a full queue head-of-line-stalls every other
+// endpoint sharing the caller's delivery worker (the sharded simnet delivers
+// ~N/Shards endpoints per worker), so under pressure stale batches are
+// dropped instead, in two tiers:
+//
+//   - past the high-water mark, batches referencing only configurations this
+//     process has already moved past are shed: the protocol never revisits a
+//     configuration, so nothing is lost;
+//   - only when the queue is entirely full — where the alternative is
+//     blocking the worker — are batches from unknown (usually imminent)
+//     configurations shed too. They are kept while there is room because a
+//     batch that is stale at enqueue time can become applicable by the time
+//     the engine reaches it, if a decision already queued ahead of it
+//     installs that configuration; shedding those early costs JOIN-alert
+//     reports the cut detector's H-of-K aggregation has little slack for.
+//
+// Batches with current-configuration content always keep the blocking
+// backpressure of enqueue.
+func (c *Cluster) enqueueBatch(ev event) bool {
+	if len(c.events) >= c.shedWater && c.staleBatch(ev, false) {
+		c.emetrics.ShedBatches.Add(1)
+		return false
+	}
+	select {
+	case c.events <- ev:
+		return true
+	default:
+	}
+	if c.staleBatch(ev, true) {
+		c.emetrics.ShedBatches.Add(1)
+		return false
+	}
+	return c.enqueue(ev)
+}
+
+// staleBatch reports whether the batch is sheddable: no alert or vote in it
+// references the current configuration, and — unless hardFull allows
+// dropping any non-current batch — every referenced configuration is one
+// this process has verifiably moved past.
+func (c *Cluster) staleBatch(ev event, hardFull bool) bool {
+	s := c.snap.Load()
+	if s == nil {
+		return false
+	}
+	sheddable := func(configID uint64) bool {
+		if configID == s.configID {
+			return false
+		}
+		return hardFull || s.pastConfigs[configID]
+	}
+	if ev.batch != nil {
+		for i := range ev.batch.Alerts {
+			if !sheddable(ev.batch.Alerts[i].ConfigurationID) {
+				return false
+			}
+		}
+	}
+	if ev.votes != nil {
+		for i := range ev.votes.Votes {
+			if !sheddable(ev.votes.Votes[i].ConfigurationID) {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // enqueuePriority submits a control-plane event on the priority queue, which
@@ -238,11 +377,25 @@ func (c *Cluster) publishSnapshot(v *view.View, members []node.Endpoint, viewCha
 	for _, ep := range members {
 		byAddr[ep.Addr] = ep
 	}
+	// The configuration being replaced joins the bounded past-configs set:
+	// overload shedding may drop batches referencing only these, because the
+	// protocol never revisits a configuration.
+	if prev := c.snap.Load(); prev != nil {
+		c.pastRing = append(c.pastRing, prev.configID)
+		if len(c.pastRing) > maxPastConfigs {
+			c.pastRing = c.pastRing[len(c.pastRing)-maxPastConfigs:]
+		}
+	}
+	past := make(map[uint64]bool, len(c.pastRing))
+	for _, id := range c.pastRing {
+		past[id] = true
+	}
 	c.snap.Store(&snapshot{
 		configID:    v.ConfigurationID(),
 		members:     members,
 		byAddr:      byAddr,
 		viewChanges: viewChanges,
+		pastConfigs: past,
 	})
 }
 
@@ -314,11 +467,16 @@ func (c *Cluster) Metadata(addr node.Addr) (map[string]string, bool) {
 // Stats returns a point-in-time summary of the engine instrumentation.
 func (c *Cluster) Stats() EngineStats {
 	return EngineStats{
-		QueueDepth:       len(c.events) + len(c.prio),
-		EventsProcessed:  c.emetrics.EventsProcessed.Value(),
-		BatchesSent:      c.emetrics.BatchesSent.Value(),
-		BatchSizes:       c.emetrics.BatchSizes.Summary(),
-		GossipDuplicates: c.emetrics.GossipDuplicates.Value(),
+		QueueDepth:        len(c.events) + len(c.prio),
+		EventsProcessed:   c.emetrics.EventsProcessed.Value(),
+		BatchesSent:       c.emetrics.BatchesSent.Value(),
+		BatchSizes:        c.emetrics.BatchSizes.Summary(),
+		GossipDuplicates:  c.emetrics.GossipDuplicates.Value(),
+		BatchWindow:       time.Duration(c.emetrics.BatchWindow.Value()),
+		ShedBatches:       c.emetrics.ShedBatches.Value(),
+		QueueFullTime:     time.Duration(c.emetrics.QueueFullNanos.Value()),
+		NotifierDepth:     c.notifier.depth(),
+		NotifierCoalesced: c.emetrics.NotifierCoalesced.Value(),
 	}
 }
 
@@ -416,74 +574,6 @@ func (c *Cluster) monitorManager() {
 // onSubjectFailed forwards an edge failure detector verdict to the engine.
 func (c *Cluster) onSubjectFailed(subject node.Addr) {
 	c.enqueue(event{subjectDown: subject})
-}
-
-// --- subscriber delivery -----------------------------------------------------
-
-// notifier delivers view changes to subscribers in order from a dedicated
-// goroutine, decoupling callbacks from the protocol engine so they can block
-// safely.
-type notifier struct {
-	mu      sync.Mutex
-	cond    *sync.Cond
-	queue   []ViewChange
-	subs    []Subscriber
-	stopped bool
-}
-
-func newNotifier() *notifier {
-	n := &notifier{}
-	n.cond = sync.NewCond(&n.mu)
-	return n
-}
-
-// subscribe registers a callback for subsequent view changes.
-func (n *notifier) subscribe(cb Subscriber) {
-	n.mu.Lock()
-	n.subs = append(n.subs, cb)
-	n.mu.Unlock()
-}
-
-// publish enqueues a view change for delivery. It never blocks.
-func (n *notifier) publish(vc ViewChange) {
-	n.mu.Lock()
-	n.queue = append(n.queue, vc)
-	n.mu.Unlock()
-	n.cond.Signal()
-}
-
-// stop discards undelivered view changes and lets the delivery goroutine
-// exit. After stop returns, no new callback starts; at most the single
-// callback already in flight keeps running (it may itself call Stop, so
-// joining it here would deadlock).
-func (n *notifier) stop() {
-	n.mu.Lock()
-	n.stopped = true
-	n.queue = nil
-	n.mu.Unlock()
-	n.cond.Signal()
-}
-
-// run is the delivery loop. Callbacks run outside the lock, in publication
-// order.
-func (n *notifier) run() {
-	for {
-		n.mu.Lock()
-		for len(n.queue) == 0 && !n.stopped {
-			n.cond.Wait()
-		}
-		if len(n.queue) == 0 && n.stopped {
-			n.mu.Unlock()
-			return
-		}
-		vc := n.queue[0]
-		n.queue = n.queue[1:]
-		subs := append([]Subscriber(nil), n.subs...)
-		n.mu.Unlock()
-		for _, cb := range subs {
-			cb(vc)
-		}
-	}
 }
 
 var _ transport.Handler = (*Cluster)(nil)

@@ -121,6 +121,35 @@ func TestSettingsValidation(t *testing.T) {
 	if _, err := StartCluster("seed:1", bad, net); err == nil {
 		t.Fatal("invalid watermarks should be rejected")
 	}
+
+	// Nonsense batching-window relations are errors, not silently rewritten.
+	inverted := testSettings()
+	inverted.BatchingWindowMin = 50 * time.Millisecond
+	inverted.BatchingWindowMax = 10 * time.Millisecond
+	if _, err := StartCluster("seed:1", inverted, net); err == nil {
+		t.Fatal("floor above ceiling should be rejected")
+	}
+	negative := testSettings()
+	negative.BatchingWindow = -time.Millisecond
+	if _, err := StartCluster("seed:1", negative, net); err == nil {
+		t.Fatal("negative batching window should be rejected")
+	}
+	negFloor := testSettings()
+	negFloor.BatchingWindowMin = -time.Millisecond
+	if _, err := StartCluster("seed:1", negFloor, net); err == nil {
+		t.Fatal("negative batching floor should be rejected")
+	}
+
+	// Zero values still derive a coherent adaptive range from the legacy
+	// single knob.
+	legacy := Settings{BatchingWindow: 80 * time.Millisecond}
+	if err := legacy.validate(); err != nil {
+		t.Fatalf("legacy single-knob settings should validate: %v", err)
+	}
+	if legacy.BatchingWindowMin != 8*time.Millisecond || legacy.BatchingWindowMax != 320*time.Millisecond {
+		t.Fatalf("derived window range wrong: floor=%v ceiling=%v",
+			legacy.BatchingWindowMin, legacy.BatchingWindowMax)
+	}
 }
 
 func TestJoinRequiresSeed(t *testing.T) {

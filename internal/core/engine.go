@@ -70,7 +70,10 @@ type joinEvent struct {
 // parked joiner's JOIN alert. The re-file keeps a join storm from burning
 // the joiner's retry attempts, but an unbounded loop could keep admitting a
 // joiner that crashed or gave up (a ghost member the failure detectors then
-// have to evict); after the cap the joiner is sent back to phase 1.
+// have to evict); after the cap the joiner is sent back to phase 1. Keep the
+// cap small: every re-file is another JOIN alert from each of the joiner's
+// up-to-K parked observers per view change, so a generous cap (16 was
+// tried) lets a 2000-node storm flood itself with re-filed alerts.
 const maxJoinRefiles = 3
 
 // batchKey identifies one flushed outbound batch for gossip deduplication.
@@ -100,6 +103,12 @@ type engine struct {
 	pendingAlerts []remoting.AlertMessage
 	pendingVotes  []remoting.FastRoundPhase2b
 	outSeq        uint64
+
+	// winCtl sizes the flush window between the configured floor and ceiling
+	// from queue depth and arrival rate (see adaptive.go); arrivals counts
+	// the data-plane events dispatched since the last flush, its rate input.
+	winCtl   windowController
+	arrivals int
 
 	// seenBatches deduplicates gossip-forwarded batches per configuration.
 	seenBatches map[batchKey]bool
@@ -139,7 +148,9 @@ func newEngine(c *Cluster, members []node.Endpoint) *engine {
 		// collide with (address, seq) dedup entries its previous incarnation
 		// left behind on long-lived members.
 		outSeq: c.me.ID.Low,
+		winCtl: newWindowController(c.settings.BatchingWindowMin, c.settings.BatchingWindowMax, c.settings.BatchingWindow),
 	}
+	c.emetrics.BatchWindow.Set(int64(e.winCtl.window))
 	addrs := e.view.MemberAddrs()
 	c.unicast.SetMembership(addrs)
 	if c.broadcaster != c.unicast {
@@ -158,7 +169,10 @@ func (e *engine) run() {
 	// that it is ordered before any view change's update: publishing it from
 	// the initializer could overwrite a newer set with the stale initial one.
 	c.setMonitorSubjects(e.currentSubjects())
-	flush := c.clock.Ticker(c.settings.BatchingWindow)
+	// The flush timer is re-armed after every flush with a window the
+	// controller sizes to the current load, so it is a one-shot Timer rather
+	// than a fixed-period Ticker.
+	flush := c.clock.Timer(e.winCtl.window)
 	defer flush.Stop()
 	reinforce := c.clock.Ticker(c.settings.ReinforcementTick)
 	defer reinforce.Stop()
@@ -194,16 +208,29 @@ func (e *engine) run() {
 			// inside flushOutbox, so its next round belongs to the next tick.
 			e.regossip()
 			e.flushOutbox()
+			flush.Reset(e.retuneWindow())
 		case <-reinforce.C():
 			e.reinforce()
 		}
 	}
 }
 
+// retuneWindow feeds the controller the live data-queue depth and the events
+// dispatched since the last flush, publishes the resulting window to the
+// BatchWindow gauge, and returns it for the flush timer's next arming.
+func (e *engine) retuneWindow() time.Duration {
+	c := e.c
+	next := e.winCtl.retune(len(c.events), c.settings.EventQueueSize, e.arrivals)
+	e.arrivals = 0
+	c.emetrics.BatchWindow.Set(int64(next))
+	return next
+}
+
 // dispatch routes one event to its handler.
 func (e *engine) dispatch(ev event) {
 	switch {
 	case ev.batch != nil || ev.votes != nil:
+		e.arrivals++
 		e.handleBatch(ev)
 	case ev.fastRound != nil:
 		e.consensus.HandleFastRoundVote(ev.fastRound)

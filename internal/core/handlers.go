@@ -23,7 +23,10 @@ func (c *Cluster) HandleRequest(ctx context.Context, from node.Addr, req *remoti
 	case req.Join != nil:
 		return c.handleJoinPhase2(ctx, req.Join), nil
 	case req.Alerts != nil || req.VoteBatch != nil:
-		c.enqueue(event{raw: req, batch: req.Alerts, votes: req.VoteBatch, network: true})
+		// enqueueBatch sheds stale batches under overload instead of blocking
+		// the transport's delivery worker; the batch is acked either way, as
+		// best-effort dissemination expects.
+		c.enqueueBatch(event{raw: req, batch: req.Alerts, votes: req.VoteBatch, network: true})
 		return remoting.AckResponse(), nil
 	case req.Leave != nil:
 		c.enqueue(event{leave: req.Leave})

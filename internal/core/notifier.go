@@ -1,0 +1,169 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/metrics"
+	"repro/internal/node"
+)
+
+// notifier delivers view changes to subscribers in order from a dedicated
+// goroutine, decoupling callbacks from the protocol engine so they can block
+// safely. The pending queue is bounded: once a slow subscriber is `bound`
+// view changes behind, further publications coalesce into the newest queued
+// entry instead of growing the queue, so notifier memory is O(bound x N)
+// rather than O(viewChanges x N) no matter how long a callback blocks. A
+// coalesced notification carries the newest configuration and membership
+// plus the net Changes across the gap, and marks the gap with
+// ViewChange.Coalesced > 0.
+type notifier struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []ViewChange
+	subs    []Subscriber
+	stopped bool
+
+	// bound caps len(queue); publish never blocks and never exceeds it.
+	bound int
+	// coalesced counts view changes merged away by the bound (EngineStats).
+	coalesced *metrics.Counter
+}
+
+func newNotifier(bound int, coalesced *metrics.Counter) *notifier {
+	if bound < 1 {
+		bound = 1
+	}
+	n := &notifier{bound: bound, coalesced: coalesced}
+	n.cond = sync.NewCond(&n.mu)
+	return n
+}
+
+// subscribe registers a callback for subsequent view changes.
+func (n *notifier) subscribe(cb Subscriber) {
+	n.mu.Lock()
+	n.subs = append(n.subs, cb)
+	n.mu.Unlock()
+}
+
+// publish enqueues a view change for delivery. It never blocks: at the queue
+// bound the newest queued entry absorbs the publication instead.
+func (n *notifier) publish(vc ViewChange) {
+	n.mu.Lock()
+	if len(n.queue) >= n.bound {
+		n.queue[len(n.queue)-1] = coalesceViewChanges(n.queue[len(n.queue)-1], vc)
+		n.coalesced.Add(1)
+	} else {
+		n.queue = append(n.queue, vc)
+	}
+	n.mu.Unlock()
+	n.cond.Signal()
+}
+
+// depth returns the number of undelivered notifications (EngineStats).
+func (n *notifier) depth() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.queue)
+}
+
+// stop discards undelivered view changes and lets the delivery goroutine
+// exit. After stop returns, no new callback starts; at most the single
+// callback already in flight keeps running (it may itself call Stop, so
+// joining it here would deadlock).
+func (n *notifier) stop() {
+	n.mu.Lock()
+	n.stopped = true
+	n.queue = nil
+	n.mu.Unlock()
+	n.cond.Signal()
+}
+
+// run is the delivery loop. Callbacks run outside the lock, in publication
+// order.
+func (n *notifier) run() {
+	for {
+		n.mu.Lock()
+		for len(n.queue) == 0 && !n.stopped {
+			n.cond.Wait()
+		}
+		if len(n.queue) == 0 && n.stopped {
+			n.mu.Unlock()
+			return
+		}
+		vc := n.queue[0]
+		n.queue = n.queue[1:]
+		subs := append([]Subscriber(nil), n.subs...)
+		n.mu.Unlock()
+		for _, cb := range subs {
+			cb(vc)
+		}
+	}
+}
+
+// coalesceViewChanges merges a newly published view change into the newest
+// queued one. The result carries the new configuration and full membership
+// (always a snapshot of the latest view), the net status changes across both
+// notifications, and a Coalesced count marking how many separate view changes
+// the subscriber will not see individually.
+func coalesceViewChanges(old, vc ViewChange) ViewChange {
+	return ViewChange{
+		ConfigurationID: vc.ConfigurationID,
+		Members:         vc.Members,
+		Changes:         mergeStatusChanges(old.Changes, vc.Changes),
+		Coalesced:       old.Coalesced + vc.Coalesced + 1,
+	}
+}
+
+// mergeStatusChanges computes the net per-address transitions of two
+// consecutive change sets, relative to the state the subscriber last saw:
+//
+//   - join then remove cancels out (the subscriber never saw the member);
+//   - remove then join keeps both, in that order (the old incarnation left,
+//     a new endpoint — possibly a restart under the same address — arrived);
+//   - a repeated transition in the same direction keeps the newest endpoint.
+//
+// Each address contributes at most one remove followed by at most one join,
+// in first-appearance order, so coalesced Changes stay O(distinct addresses).
+func mergeStatusChanges(first, second []StatusChange) []StatusChange {
+	type netChange struct {
+		removed *StatusChange
+		joined  *StatusChange
+	}
+	order := make([]node.Addr, 0, len(first)+len(second))
+	byAddr := make(map[node.Addr]*netChange, len(first)+len(second))
+	apply := func(ch StatusChange) {
+		nc, ok := byAddr[ch.Endpoint.Addr]
+		if !ok {
+			nc = &netChange{}
+			byAddr[ch.Endpoint.Addr] = nc
+			order = append(order, ch.Endpoint.Addr)
+		}
+		if ch.Joined {
+			nc.joined = &ch
+			return
+		}
+		if nc.joined != nil {
+			// The join the subscriber never saw is cancelled by this remove.
+			nc.joined = nil
+			return
+		}
+		nc.removed = &ch
+	}
+	for _, ch := range first {
+		apply(ch)
+	}
+	for _, ch := range second {
+		apply(ch)
+	}
+	out := make([]StatusChange, 0, len(order))
+	for _, addr := range order {
+		nc := byAddr[addr]
+		if nc.removed != nil {
+			out = append(out, *nc.removed)
+		}
+		if nc.joined != nil {
+			out = append(out, *nc.joined)
+		}
+	}
+	return out
+}

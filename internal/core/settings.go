@@ -14,8 +14,18 @@
 // broadcaster (unicast-to-all or gossip). Join phases travel on a separate
 // control-plane priority queue that the engine drains first, so a seed
 // serving a 1000-node bootstrap storm keeps answering joiners while
-// thousands of alert/vote batches are backed up behind them; see
-// docs/ARCHITECTURE.md for the full event-flow diagram.
+// thousands of alert/vote batches are backed up behind them.
+//
+// The control plane is load-adaptive (adaptive.go): the batching window is
+// resized between BatchingWindowMin and BatchingWindowMax from the engine's
+// queue depth and alert arrival rate (quiet clusters flush near-immediately,
+// storming clusters send fewer, larger batches); past the event queue's
+// high-water mark, inbound batches that reference only already-passed
+// configurations are shed rather than blocking the transport (batches from
+// unknown configurations only when the queue is entirely full); and the
+// subscriber notification queue is bounded, coalescing view changes for slow
+// subscribers (notifier.go). See docs/ARCHITECTURE.md for the full
+// event-flow diagram.
 package core
 
 import (
@@ -60,9 +70,21 @@ type Settings struct {
 	// ping-pong detector (40% of the last 10 probes).
 	FailureDetector edgefd.Factory
 
-	// BatchingWindow is how long alerts and fast-round votes are buffered
-	// before being broadcast as a single batched message (§6).
+	// BatchingWindow is the legacy fixed flush window (§6). It now only seeds
+	// the adaptive controller's defaults: a zero BatchingWindowMin defaults to
+	// BatchingWindow/10 and a zero BatchingWindowMax to 4x BatchingWindow, so
+	// existing callers that only set BatchingWindow keep a sensible adaptive
+	// range centred on their old constant.
 	BatchingWindow time.Duration
+	// BatchingWindowMin is the floor of the adaptive flush window: a quiet
+	// engine collapses its window to this value so joins and isolated alerts
+	// are broadcast almost immediately.
+	BatchingWindowMin time.Duration
+	// BatchingWindowMax is the ceiling of the adaptive flush window: a
+	// storming engine grows its window toward this value so alerts and votes
+	// leave in fewer, larger wire batches. Must satisfy
+	// 0 < BatchingWindowMin <= BatchingWindowMax.
+	BatchingWindowMax time.Duration
 
 	// Broadcast selects the dissemination strategy for batched alerts and
 	// votes; defaults to BroadcastUnicastToAll. Consensus recovery messages
@@ -79,10 +101,21 @@ type Settings struct {
 	// member without a consensus quorum. Defaults to 3.
 	GossipRounds int
 
-	// EventQueueSize bounds the engine's inbound event queue. When the queue
-	// is full, transport handlers block (backpressure) rather than drop.
-	// Defaults to 1024.
+	// EventQueueSize bounds the engine's inbound event queue. Once the queue
+	// crosses its high-water mark (3/4 of this size), inbound alert/vote
+	// batches that reference only configurations this process already moved
+	// past are shed — the protocol never revisits them — and when the queue
+	// is entirely full, batches from unknown configurations are shed too, so
+	// a storming member does not head-of-line-block its transport. Batches
+	// for the current configuration (and all other protocol events) always
+	// exert blocking backpressure. Defaults to 1024.
 	EventQueueSize int
+
+	// NotifierQueueBound caps the pending view-change notification queue. A
+	// subscriber that blocks for more than this many view changes receives
+	// coalesced notifications (ViewChange.Coalesced > 0) instead of growing
+	// the queue without bound. Defaults to 64.
+	NotifierQueueBound int
 
 	// ConsensusFallbackBase is the base delay before an undecided node starts
 	// the classical Paxos recovery round. Each node adds a deterministic
@@ -122,6 +155,8 @@ func DefaultSettings() Settings {
 		ProbeTimeout:          500 * time.Millisecond,
 		FailureDetector:       edgefd.NewPingPongFactory(edgefd.DefaultPingPongOptions()),
 		BatchingWindow:        100 * time.Millisecond,
+		BatchingWindowMin:     10 * time.Millisecond,
+		BatchingWindowMax:     400 * time.Millisecond,
 		ConsensusFallbackBase: 8 * time.Second,
 		ReinforcementTimeout:  5 * time.Second,
 		ReinforcementTick:     time.Second,
@@ -151,6 +186,8 @@ func ScaledSettings(factor float64) Settings {
 	s.ProbeInterval = scale(s.ProbeInterval)
 	s.ProbeTimeout = scale(s.ProbeTimeout)
 	s.BatchingWindow = scale(s.BatchingWindow)
+	s.BatchingWindowMin = scale(s.BatchingWindowMin)
+	s.BatchingWindowMax = scale(s.BatchingWindowMax)
 	s.ConsensusFallbackBase = scale(s.ConsensusFallbackBase)
 	s.ReinforcementTimeout = scale(s.ReinforcementTimeout)
 	s.ReinforcementTick = scale(s.ReinforcementTick)
@@ -185,8 +222,30 @@ func (s *Settings) validate() error {
 	if s.FailureDetector == nil {
 		s.FailureDetector = edgefd.NewPingPongFactory(edgefd.DefaultPingPongOptions())
 	}
-	if s.BatchingWindow <= 0 {
+	// The adaptive window range must be coherent: zero values take defaults
+	// (derived from BatchingWindow so legacy single-knob callers keep a range
+	// centred on their constant), but explicitly negative values or an
+	// inverted floor/ceiling relation are configuration mistakes and are
+	// rejected instead of silently rewritten.
+	if s.BatchingWindow < 0 || s.BatchingWindowMin < 0 || s.BatchingWindowMax < 0 {
+		return fmt.Errorf("core: negative batching window (window=%v floor=%v ceiling=%v)",
+			s.BatchingWindow, s.BatchingWindowMin, s.BatchingWindowMax)
+	}
+	if s.BatchingWindow == 0 {
 		s.BatchingWindow = 100 * time.Millisecond
+	}
+	if s.BatchingWindowMin == 0 {
+		s.BatchingWindowMin = s.BatchingWindow / 10
+		if s.BatchingWindowMin <= 0 {
+			s.BatchingWindowMin = time.Millisecond
+		}
+	}
+	if s.BatchingWindowMax == 0 {
+		s.BatchingWindowMax = 4 * s.BatchingWindow
+	}
+	if s.BatchingWindowMin > s.BatchingWindowMax {
+		return fmt.Errorf("core: batching window floor %v exceeds ceiling %v",
+			s.BatchingWindowMin, s.BatchingWindowMax)
 	}
 	switch s.Broadcast {
 	case "":
@@ -203,6 +262,9 @@ func (s *Settings) validate() error {
 	}
 	if s.EventQueueSize <= 0 {
 		s.EventQueueSize = 1024
+	}
+	if s.NotifierQueueBound <= 0 {
+		s.NotifierQueueBound = 64
 	}
 	if s.ConsensusFallbackBase <= 0 {
 		s.ConsensusFallbackBase = 8 * time.Second

@@ -3,6 +3,8 @@ package experiments
 import (
 	"testing"
 	"time"
+
+	"repro/internal/core"
 )
 
 // TestRunBootstrapConvergenceSmall exercises the paper-scale sweep machinery
@@ -55,8 +57,27 @@ func TestBootstrapConvergence1000Smoke(t *testing.T) {
 	if !p.Converged {
 		t.Fatal("1000-node bootstrap did not converge")
 	}
-	t.Logf("1000 nodes converged in %s wall (%.0f paper-s); join p50/p90/p99 = %.0f/%.0f/%.0f paper-s; %d msgs",
+	// Control-plane health gates: a clean bootstrap must finish with
+	// (essentially) zero overload shedding, and every member's adaptive
+	// window must sit inside the configured floor/ceiling. Shedding on this
+	// workload means the adaptive window stopped absorbing the storm — a
+	// controller regression sheds five to six orders of magnitude more than
+	// the tolerance here (a stuck-at-floor controller was observed at 10^5
+	// sheds), while a healthy run sheds zero almost always and at most a
+	// handful when the host scheduler starves a member mid-storm, so the
+	// tiny allowance keeps the gate meaningful without coupling CI green to
+	// machine load.
+	if p.ShedBatches*1000 > p.Messages {
+		t.Errorf("bootstrap shed %d batches of %d messages; the adaptive window should keep queues under the high-water mark",
+			p.ShedBatches, p.Messages)
+	}
+	bounds := core.ScaledSettings(cfg.TimeScale)
+	if p.MinBatchWindow < bounds.BatchingWindowMin || p.MaxBatchWindow > bounds.BatchingWindowMax {
+		t.Errorf("adaptive window left its bounds: fleet [%v, %v] vs configured [%v, %v]",
+			p.MinBatchWindow, p.MaxBatchWindow, bounds.BatchingWindowMin, bounds.BatchingWindowMax)
+	}
+	t.Logf("1000 nodes converged in %s wall (%.0f paper-s); join p50/p90/p99 = %.0f/%.0f/%.0f paper-s; %d msgs; shed=%d window=[%v,%v]",
 		time.Since(start).Round(time.Second), cfg.scaledSeconds(p.ConvergenceTime),
 		cfg.scaledSeconds(p.JoinP50), cfg.scaledSeconds(p.JoinP90), cfg.scaledSeconds(p.JoinP99),
-		p.Messages)
+		p.Messages, p.ShedBatches, p.MinBatchWindow, p.MaxBatchWindow)
 }

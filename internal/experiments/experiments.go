@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"runtime/debug"
 	"sort"
 	"time"
 
@@ -147,6 +148,17 @@ type BootstrapConvergencePoint struct {
 	// Messages is the total simnet send count for the run, a proxy for the
 	// dissemination cost of the bootstrap storm.
 	Messages int64
+	// ShedBatches sums overload shedding across the fleet: non-zero means
+	// some member's event queue crossed its high-water mark during the run.
+	ShedBatches int64
+	// QueueFullTime sums the time producers spent blocked on full event
+	// queues across the fleet (the backpressure shedding cannot remove).
+	QueueFullTime time.Duration
+	// MinBatchWindow/MaxBatchWindow bracket the adaptive flush windows the
+	// fleet's members ended the run with; both must stay within the
+	// configured floor/ceiling.
+	MinBatchWindow time.Duration
+	MaxBatchWindow time.Duration
 }
 
 // ConvergenceOptions tune the paper-scale bootstrap sweep.
@@ -158,6 +170,10 @@ type ConvergenceOptions struct {
 	Shards int
 	// Timeout bounds each run's convergence wait (0 = 300s).
 	Timeout time.Duration
+	// BatchingWindowMin/Max override the engine's adaptive window range
+	// (0 = scaled core default).
+	BatchingWindowMin time.Duration
+	BatchingWindowMax time.Duration
 }
 
 // RunBootstrapConvergence reruns the Figure 5 bootstrap workload at the
@@ -173,8 +189,8 @@ func RunBootstrapConvergence(cfg Config, sizes []int, opts ConvergenceOptions) (
 		timeout = 300 * time.Second
 	}
 	cfg.printf("== Figure 5 at paper scale: Rapid bootstrap convergence ==\n")
-	cfg.printf("%6s %14s %12s %12s %12s %14s\n",
-		"N", "converge(s)", "join-p50(s)", "join-p90(s)", "join-p99(s)", "msgs/node")
+	cfg.printf("%6s %14s %12s %12s %12s %14s %8s %12s\n",
+		"N", "converge(s)", "join-p50(s)", "join-p90(s)", "join-p99(s)", "msgs/node", "shed", "max-window")
 	var out []BootstrapConvergencePoint
 	for _, n := range sizes {
 		// Bootstrap storms at large N admit joiners in waves; give joiners
@@ -184,14 +200,16 @@ func RunBootstrapConvergence(cfg Config, sizes []int, opts ConvergenceOptions) (
 			attempts = n / 25
 		}
 		fleet, err := harness.Launch(harness.Options{
-			System:          harness.SystemRapid,
-			N:               n,
-			TimeScale:       cfg.TimeScale,
-			Seed:            cfg.Seed,
-			SampleInterval:  50 * time.Millisecond,
-			JoinConcurrency: opts.JoinConcurrency,
-			SimnetShards:    opts.Shards,
-			JoinAttempts:    attempts,
+			System:            harness.SystemRapid,
+			N:                 n,
+			TimeScale:         cfg.TimeScale,
+			Seed:              cfg.Seed,
+			SampleInterval:    50 * time.Millisecond,
+			JoinConcurrency:   opts.JoinConcurrency,
+			SimnetShards:      opts.Shards,
+			JoinAttempts:      attempts,
+			BatchingWindowMin: opts.BatchingWindowMin,
+			BatchingWindowMax: opts.BatchingWindowMax,
 		})
 		if err != nil {
 			return out, fmt.Errorf("bootstrap convergence N=%d: %w", n, err)
@@ -203,6 +221,16 @@ func RunBootstrapConvergence(cfg Config, sizes []int, opts ConvergenceOptions) (
 			ConvergenceTime: elapsed,
 			Messages:        fleet.Net.TotalMessages(),
 		}
+		for i, st := range fleet.RapidStats() {
+			point.ShedBatches += st.ShedBatches
+			point.QueueFullTime += st.QueueFullTime
+			if st.BatchWindow > point.MaxBatchWindow {
+				point.MaxBatchWindow = st.BatchWindow
+			}
+			if i == 0 || st.BatchWindow < point.MinBatchWindow {
+				point.MinBatchWindow = st.BatchWindow
+			}
+		}
 		lats := make([]float64, 0, n)
 		for _, d := range fleet.JoinLatencies() {
 			lats = append(lats, float64(d))
@@ -211,11 +239,19 @@ func RunBootstrapConvergence(cfg Config, sizes []int, opts ConvergenceOptions) (
 		point.JoinP90 = time.Duration(metrics.Percentile(lats, 90))
 		point.JoinP99 = time.Duration(metrics.Percentile(lats, 99))
 		fleet.Stop()
+		// Return the stopped fleet's memory to the OS before the next
+		// (larger) size boots: a paper-scale fleet leaves hundreds of MB of
+		// fragmented spans, and allocation slowdown from reusing them is
+		// enough to tip the next run's timing-sensitive bootstrap dynamics
+		// into churn — the dominant source of run-to-run variance in the
+		// one-command sweep (plain runtime.GC was not sufficient).
+		debug.FreeOSMemory()
 		out = append(out, point)
-		cfg.printf("%6d %14.1f %12.1f %12.1f %12.1f %14.0f\n",
+		cfg.printf("%6d %14.1f %12.1f %12.1f %12.1f %14.0f %8d %12s\n",
 			point.N, cfg.scaledSeconds(point.ConvergenceTime),
 			cfg.scaledSeconds(point.JoinP50), cfg.scaledSeconds(point.JoinP90),
-			cfg.scaledSeconds(point.JoinP99), float64(point.Messages)/float64(n))
+			cfg.scaledSeconds(point.JoinP99), float64(point.Messages)/float64(n),
+			point.ShedBatches, point.MaxBatchWindow)
 		if !ok {
 			return out, fmt.Errorf("bootstrap convergence N=%d: did not converge within %s", n, timeout)
 		}

@@ -90,19 +90,6 @@ func (a *accusationMembership) Flaps() int {
 	return a.flaps
 }
 
-// rapidMembership adapts a Rapid cluster handle to txn.MembershipSource.
-type rapidMembership struct{ c *core.Cluster }
-
-// AliveServers implements txn.MembershipSource.
-func (r rapidMembership) AliveServers() []node.Addr {
-	members := r.c.Members()
-	out := make([]node.Addr, 0, len(members))
-	for _, m := range members {
-		out = append(out, m.Addr)
-	}
-	return out
-}
-
 // RunTransactionWorkload reproduces Figure 12: a transactional platform over
 // `servers` data servers, driven either by the baseline all-to-all gossip
 // failure detector or by Rapid, with a full packet blackhole injected between
@@ -120,7 +107,11 @@ func RunTransactionWorkload(cfg Config, servers int, duration time.Duration) ([]
 
 	runOne := func(provider string) (TxnResult, error) {
 		net := simnet.New(simnet.Options{Seed: cfg.Seed})
+		// source is polled (baseline detectors have no notification stream);
+		// attach wires a push-driven provider's subscriber stream to the
+		// platform instead. Exactly one of the two is set per provider.
 		var source txn.MembershipSource
+		var attach func(*txn.Platform)
 		var flapCount func() int
 		var cleanup func()
 
@@ -179,8 +170,19 @@ func RunTransactionWorkload(cfg Config, servers int, duration time.Duration) ([]
 				}
 				time.Sleep(5 * time.Millisecond)
 			}
-			rm := rapidMembership{c: clusters[1]} // a coordinator other than the serialization server
-			source = rm
+			// A coordinator other than the serialization server feeds the
+			// platform through the subscriber stream: no polling, every view
+			// change is pushed as it is installed (the bounded notifier makes
+			// this safe even if the platform's handling were slow). The seed
+			// push after Subscribe covers any view change installed before
+			// the subscription existed.
+			coordinator := clusters[1]
+			attach = func(p *txn.Platform) {
+				coordinator.Subscribe(func(vc core.ViewChange) {
+					p.ApplyEndpoints(vc.Members)
+				})
+				p.SeedEndpoints(coordinator.Members())
+			}
 			flapCount = func() int { return 0 }
 			cleanup = func() {
 				for _, c := range clusters {
@@ -194,6 +196,9 @@ func RunTransactionWorkload(cfg Config, servers int, duration time.Duration) ([]
 
 		platform := txn.NewPlatform(addrs, source, opts)
 		defer platform.Stop()
+		if attach != nil {
+			attach(platform)
+		}
 
 		// Inject the blackhole between the serialization server (lowest
 		// address) and one other data server a third of the way into the run.
@@ -311,14 +316,12 @@ func RunServiceDiscovery(cfg Config, backends, failures int, duration time.Durat
 				time.Sleep(5 * time.Millisecond)
 			}
 			// The load balancer subscribes to view changes from a member that
-			// will not be crashed (the seed).
+			// will not be crashed (the seed); the seed push after Subscribe
+			// covers any view change installed before the subscription.
 			seedCluster.Subscribe(func(vc core.ViewChange) {
-				out := make([]node.Addr, 0, len(vc.Members))
-				for _, m := range vc.Members {
-					out = append(out, m.Addr)
-				}
-				lb.UpdateBackends(out)
+				lb.UpdateFromEndpoints(vc.Members)
 			})
+			lb.SeedFromEndpoints(seedCluster.Members())
 			crash = func() {
 				for i := 0; i < failures; i++ {
 					victim := addrs[backends-1-i]

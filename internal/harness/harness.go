@@ -107,6 +107,12 @@ type Options struct {
 	// admit joiners in waves, so large fleets need more attempts than the
 	// default tuned for 100-node runs.
 	JoinAttempts int
+	// BatchingWindowMin/Max override the Rapid engine's adaptive batching
+	// window range (0 = scaled core default). The values are used as given —
+	// they are not divided by TimeScale — so experiments can sweep the
+	// floor/ceiling independently of the time compression.
+	BatchingWindowMin time.Duration
+	BatchingWindowMax time.Duration
 }
 
 // Fleet is a running cluster of agents plus its infrastructure processes.
@@ -281,6 +287,12 @@ func (f *Fleet) rapidSettings() core.Settings {
 	if f.Options.JoinAttempts > 0 {
 		settings.JoinAttempts = f.Options.JoinAttempts
 	}
+	if f.Options.BatchingWindowMin > 0 {
+		settings.BatchingWindowMin = f.Options.BatchingWindowMin
+	}
+	if f.Options.BatchingWindowMax > 0 {
+		settings.BatchingWindowMax = f.Options.BatchingWindowMax
+	}
 	return settings
 }
 
@@ -380,6 +392,21 @@ func (f *Fleet) Agent(addr node.Addr) (Agent, bool) {
 		}
 	}
 	return nil, false
+}
+
+// RapidStats returns every Rapid agent's engine stats (empty for other
+// systems). Experiments use it to assert control-plane health — no shed
+// events, adaptive window inside its configured bounds — after a run.
+func (f *Fleet) RapidStats() []core.EngineStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var out []core.EngineStats
+	for _, a := range f.agents {
+		if ra, ok := a.(rapidAgent); ok {
+			out = append(out, ra.c.Stats())
+		}
+	}
+	return out
 }
 
 // Series returns the recorded size series for one agent.

@@ -8,6 +8,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -30,6 +31,19 @@ func (c *Counter) Value() int64 {
 	defer c.mu.Unlock()
 	return c.v
 }
+
+// Gauge is a concurrency-safe last-value metric (e.g. the engine's current
+// adaptive batching window in nanoseconds). Unlike Counter it can move in
+// both directions.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Value returns the last value set.
+func (g *Gauge) Value() int64 { return g.v.Load() }
 
 // Distribution accumulates count/sum/max of a stream of observations, enough
 // to report mean and peak batch sizes without retaining samples.

@@ -113,6 +113,17 @@ func (e Endpoint) Equal(other Endpoint) bool {
 	return e.Addr == other.Addr && e.ID == other.ID
 }
 
+// EndpointAddrs returns the addresses of the given endpoints, in order —
+// the conversion every membership consumer needs when feeding a view-change
+// payload into an address-keyed application.
+func EndpointAddrs(endpoints []Endpoint) []Addr {
+	addrs := make([]Addr, len(endpoints))
+	for i, ep := range endpoints {
+		addrs[i] = ep.Addr
+	}
+	return addrs
+}
+
 // SortAddrs sorts a slice of addresses lexicographically in place and
 // returns it, for deterministic iteration in protocols and tests.
 func SortAddrs(addrs []Addr) []Addr {

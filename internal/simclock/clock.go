@@ -27,6 +27,13 @@ type Clock interface {
 	// protocol loops (alert batching, reinforcement) allocate nothing per
 	// tick. Callers must Stop it when done.
 	Ticker(d time.Duration) Ticker
+	// Timer returns a one-shot timer firing after d that can be re-armed
+	// with a different duration, which is what variable-period loops (the
+	// adaptive batching window) need: a Ticker's period is fixed at creation.
+	// Reset may only be called after the timer's value has been received from
+	// C (the engine's flush loop always consumes the tick before re-arming).
+	// Callers must Stop it when done.
+	Timer(d time.Duration) Timer
 }
 
 // Ticker is a repeating timer. Like time.Ticker, delivery is coalescing: if
@@ -36,6 +43,18 @@ type Ticker interface {
 	// C returns the delivery channel.
 	C() <-chan time.Time
 	// Stop halts future deliveries. It does not close the channel.
+	Stop()
+}
+
+// Timer is a re-armable one-shot timer. Unlike Ticker, each firing is armed
+// explicitly, so consecutive periods may differ (adaptive batching windows).
+type Timer interface {
+	// C returns the delivery channel.
+	C() <-chan time.Time
+	// Reset re-arms the timer to fire after d. It must only be called after
+	// the previous firing was received from C (or after Stop).
+	Reset(d time.Duration)
+	// Stop halts a pending firing. It does not close the channel.
 	Stop()
 }
 
@@ -64,6 +83,18 @@ type realTicker struct{ t *time.Ticker }
 
 func (rt realTicker) C() <-chan time.Time { return rt.t.C }
 func (rt realTicker) Stop()               { rt.t.Stop() }
+
+// Timer implements Clock.
+func (Real) Timer(d time.Duration) Timer { return realTimer{time.NewTimer(d)} }
+
+type realTimer struct{ t *time.Timer }
+
+func (rt realTimer) C() <-chan time.Time { return rt.t.C }
+
+// Reset relies on the Timer contract: the caller has already received the
+// previous firing (or called Stop), so the channel is known to be drained.
+func (rt realTimer) Reset(d time.Duration) { rt.t.Reset(d) }
+func (rt realTimer) Stop()                 { rt.t.Stop() }
 
 // Manual is a Clock whose time only moves when Advance is called. Sleepers
 // and After-channels fire when the manual time passes their deadline.
@@ -145,6 +176,60 @@ func (mt *manualTicker) C() <-chan time.Time { return mt.w.ch }
 func (mt *manualTicker) Stop() {
 	mt.m.mu.Lock()
 	mt.w.stopped = true
+	mt.m.mu.Unlock()
+}
+
+// Timer implements Clock. Manual timers reuse the waiter machinery: each arm
+// installs a fresh one-shot waiter delivering on the timer's channel.
+func (m *Manual) Timer(d time.Duration) Timer {
+	mt := &manualTimer{m: m, ch: make(chan time.Time, 1)}
+	mt.arm(d)
+	return mt
+}
+
+type manualTimer struct {
+	m  *Manual
+	ch chan time.Time
+	w  *waiter
+}
+
+func (mt *manualTimer) C() <-chan time.Time { return mt.ch }
+
+// arm queues a waiter for the next firing. A non-positive duration fires
+// immediately, matching After.
+func (mt *manualTimer) arm(d time.Duration) {
+	mt.m.mu.Lock()
+	defer mt.m.mu.Unlock()
+	w := &waiter{deadline: mt.m.now.Add(d), ch: mt.ch}
+	mt.w = w
+	if d <= 0 {
+		select {
+		case mt.ch <- mt.m.now:
+		default:
+		}
+		return
+	}
+	mt.m.waiters = append(mt.m.waiters, w)
+}
+
+// Reset implements Timer. Per the Timer contract the previous firing has been
+// received (or stopped), so the stale waiter — if it has not fired yet — is
+// flagged for removal and a fresh one is queued.
+func (mt *manualTimer) Reset(d time.Duration) {
+	mt.m.mu.Lock()
+	if mt.w != nil {
+		mt.w.stopped = true
+	}
+	mt.m.mu.Unlock()
+	mt.arm(d)
+}
+
+// Stop implements Timer.
+func (mt *manualTimer) Stop() {
+	mt.m.mu.Lock()
+	if mt.w != nil {
+		mt.w.stopped = true
+	}
 	mt.m.mu.Unlock()
 }
 

@@ -177,3 +177,81 @@ func TestRealTicker(t *testing.T) {
 		t.Fatal("real ticker did not fire")
 	}
 }
+
+func TestManualTimerFiresOnceAndResets(t *testing.T) {
+	c := NewManual(time.Unix(0, 0))
+	tm := c.Timer(time.Second)
+	c.Advance(time.Second)
+	select {
+	case <-tm.C():
+	default:
+		t.Fatal("timer did not fire at its deadline")
+	}
+	// One-shot: no further firings without a Reset.
+	c.Advance(5 * time.Second)
+	select {
+	case <-tm.C():
+		t.Fatal("one-shot timer fired twice")
+	default:
+	}
+	// Reset re-arms with a different duration, relative to the current time.
+	tm.Reset(2 * time.Second)
+	c.Advance(time.Second)
+	select {
+	case <-tm.C():
+		t.Fatal("reset timer fired before its new deadline")
+	default:
+	}
+	c.Advance(time.Second)
+	select {
+	case <-tm.C():
+	default:
+		t.Fatal("reset timer did not fire at its new deadline")
+	}
+}
+
+func TestManualTimerStop(t *testing.T) {
+	c := NewManual(time.Unix(0, 0))
+	tm := c.Timer(time.Second)
+	tm.Stop()
+	c.Advance(3 * time.Second)
+	select {
+	case <-tm.C():
+		t.Fatal("stopped timer fired")
+	default:
+	}
+	// Reset after Stop re-arms.
+	tm.Reset(time.Second)
+	c.Advance(time.Second)
+	select {
+	case <-tm.C():
+	default:
+		t.Fatal("timer did not fire after Reset following Stop")
+	}
+}
+
+func TestManualTimerZeroFiresImmediately(t *testing.T) {
+	c := NewManual(time.Unix(0, 0))
+	tm := c.Timer(0)
+	select {
+	case <-tm.C():
+	default:
+		t.Fatal("zero-duration timer should fire immediately")
+	}
+}
+
+func TestRealTimer(t *testing.T) {
+	tm := NewReal().Timer(time.Millisecond)
+	defer tm.Stop()
+	select {
+	case <-tm.C():
+	case <-time.After(time.Second):
+		t.Fatal("real timer did not fire")
+	}
+	tm.Reset(time.Millisecond)
+	select {
+	case <-tm.C():
+	case <-time.After(time.Second):
+		t.Fatal("real timer did not fire after Reset")
+	}
+}

@@ -278,9 +278,12 @@ func (n *Network) shardFor(addr node.Addr) *shard {
 // delivery to the shard's other endpoints until it drains — head-of-line
 // blocking the old one-goroutine-per-endpoint design did not have, accepted
 // here because per-endpoint dispatchers (N goroutines with N fixed-size
-// inboxes) are what capped fleets at ~100 nodes. A saturated node slows its
-// shard rather than just itself; the engine-side fix (shedding stale batches
-// instead of blocking) is tracked in ROADMAP's backpressure item.
+// inboxes) are what capped fleets at ~100 nodes. The engine side keeps the
+// stall rare: past its queue's high-water mark it sheds inbound batches that
+// are entirely stale instead of blocking the worker (core's enqueueBatch;
+// core's TestShardWorkerSurvivesOverloadedEndpoint is the regression test),
+// so only current-configuration traffic to a genuinely saturated node still
+// blocks.
 func (n *Network) deliverLoop(s *shard) {
 	defer n.workers.Done()
 	for {
