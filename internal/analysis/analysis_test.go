@@ -1,0 +1,94 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// TestDirectiveNeedsReason: an allowlist directive without a reason is itself
+// a diagnostic — the reason is the reviewable artifact.
+func TestDirectiveNeedsReason(t *testing.T) {
+	const src = `package p
+
+func f() int {
+	//lint:allow simclock
+	return 0
+}
+`
+	u := parseUnit(t, src)
+	diags, err := u.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 || diags[0].Analyzer != "lintdirective" {
+		t.Fatalf("want one lintdirective diagnostic, got %v", diags)
+	}
+	if !strings.Contains(diags[0].Message, "needs a reason") {
+		t.Fatalf("unexpected message: %s", diags[0].Message)
+	}
+}
+
+// TestDirectiveMalformed: a directive naming no check at all is flagged too.
+func TestDirectiveMalformed(t *testing.T) {
+	const src = `package p
+
+//lint:allow
+func f() {}
+`
+	u := parseUnit(t, src)
+	diags, err := u.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "malformed") {
+		t.Fatalf("want one malformed-directive diagnostic, got %v", diags)
+	}
+}
+
+// TestDirectiveScope: an inline directive covers its own line; a standalone
+// one covers the line below.
+func TestDirectiveScope(t *testing.T) {
+	const src = `package p
+
+func f() int { //lint:allow democheck covers this line
+	return 0
+}
+
+func g() int {
+	//lint:allow democheck covers the next line
+	return 1
+}
+`
+	u := parseUnit(t, src)
+	if _, err := u.Run(nil); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		line int
+		want bool
+	}{
+		{3, true},  // f's signature line, inline directive
+		{4, false}, // f's body is not covered
+		{8, false}, // the standalone directive's own line
+		{9, true},  // the line below it
+	}
+	for _, c := range cases {
+		pos := token.Position{Filename: "fixture.go", Line: c.line}
+		if got := u.allowed("democheck", pos); got != c.want {
+			t.Errorf("allowed(democheck, line %d) = %v, want %v", c.line, got, c.want)
+		}
+	}
+}
+
+func parseUnit(t *testing.T, src string) *Unit {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fixture.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewUnit(fset, []*ast.File{f}, nil, NewTypesInfo())
+}

@@ -1,0 +1,152 @@
+// Package analysistest runs rapid-vet analyzers over fixture packages and
+// checks their diagnostics against // want comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest on the standard library alone.
+//
+// A fixture is a directory of .go files (conventionally testdata/src/<name>,
+// which the go tool ignores, so fixtures may contain deliberate violations
+// without breaking the build). Expectations are written on the offending
+// line:
+//
+//	return time.Now() // want `time.Now in protocol package`
+//
+// Each quoted string after "want" is a regexp that must match the message of
+// a distinct diagnostic reported on that line; diagnostics with no matching
+// want, and wants with no matching diagnostic, both fail the test. Fixtures
+// typecheck with the source importer, so they may import anything in the
+// standard library but nothing else.
+package analysistest
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// wantRe extracts the quoted expectation regexps from a // want comment:
+// double-quoted Go strings or backquoted raw strings.
+var wantRe = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
+
+// expectation is one // want regexp anchored to a file:line.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// Run analyzes the fixture package in dir under the given import path and
+// compares diagnostics against the fixture's // want comments. The import
+// path matters: simclockcheck keys off it, so protocol fixtures use paths
+// like "fixture/core".
+func Run(t *testing.T, dir, importPath string, analyzers ...*analysis.Analyzer) {
+	t.Helper()
+
+	paths, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("no fixture files in %s: %v", dir, err)
+	}
+	sort.Strings(paths)
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, p := range paths {
+		f, err := parser.ParseFile(fset, p, nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parsing fixture: %v", err)
+		}
+		files = append(files, f)
+	}
+
+	conf := types.Config{
+		Importer: importer.ForCompiler(fset, "source", nil),
+		Error:    func(error) {},
+	}
+	info := analysis.NewTypesInfo()
+	pkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		t.Fatalf("typechecking fixture %s: %v", importPath, err)
+	}
+
+	diags, err := analysis.NewUnit(fset, files, pkg, info).Run(analyzers)
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+
+	expects := collectWants(t, fset, files)
+
+	for _, d := range diags {
+		if !claim(expects, d) {
+			t.Errorf("unexpected diagnostic at %s: %s [%s]", d.Pos, d.Message, d.Analyzer)
+		}
+	}
+	for _, e := range expects {
+		if !e.matched {
+			t.Errorf("%s:%d: no diagnostic matched want %s", e.file, e.line, e.raw)
+		}
+	}
+}
+
+// claim marks the first unmatched expectation on the diagnostic's line whose
+// regexp matches its message.
+func claim(expects []*expectation, d analysis.Diagnostic) bool {
+	for _, e := range expects {
+		if e.matched || e.file != d.Pos.Filename || e.line != d.Pos.Line {
+			continue
+		}
+		if e.re.MatchString(d.Message) {
+			e.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// collectWants parses every // want comment in the fixture files.
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				quoted := wantRe.FindAllString(rest, -1)
+				if len(quoted) == 0 {
+					t.Fatalf("%s: // want comment with no quoted regexp", pos)
+				}
+				for _, q := range quoted {
+					text := q
+					if strings.HasPrefix(q, `"`) {
+						var err error
+						text, err = strconv.Unquote(q)
+						if err != nil {
+							t.Fatalf("%s: bad want string %s: %v", pos, q, err)
+						}
+					} else {
+						text = strings.Trim(q, "`")
+					}
+					re, err := regexp.Compile(text)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %s: %v", pos, q, err)
+					}
+					out = append(out, &expectation{file: pos.Filename, line: pos.Line, re: re, raw: q})
+				}
+			}
+		}
+	}
+	return out
+}

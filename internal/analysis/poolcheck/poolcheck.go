@@ -1,0 +1,291 @@
+// Package poolcheck enforces the pooled-buffer discipline behind the repo's
+// zero-alloc hot paths (remoting's size buffers, simnet's delivery events):
+// a value obtained from a sync.Pool must either be returned to a pool in the
+// same function or escape it (handed to another function, stored, sent, or
+// returned) — and it must never be used after it has been Put back, because
+// by then another goroutine may own it.
+//
+// The analysis is intraprocedural and deliberately modest: it does not chase
+// values across function boundaries (a value that escapes is that function's
+// responsibility) and treats "some release or escape exists" as satisfying
+// the release-on-every-path obligation. Within those limits it catches the
+// two real regressions — a leaked Get that silently degrades the pool into
+// an allocator, and a use-after-Put, which is a data race the race detector
+// only reports if the recycled value is concurrently re-acquired during the
+// run. A deliberate exception carries //lint:allow poolcheck <reason>.
+package poolcheck
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the pooled-buffer-discipline check.
+var Analyzer = &analysis.Analyzer{
+	Name: "poolcheck",
+	Doc:  "values from sync.Pool.Get must be Put back or escape, and never used after the Put",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+// acquisition tracks one `v := pool.Get()` (possibly type-asserted) local.
+type acquisition struct {
+	obj      types.Object
+	name     string
+	pos      ast.Node
+	released bool
+	escaped  bool
+}
+
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	// Pass 1: find vars assigned directly from a sync.Pool Get.
+	acquired := make(map[types.Object]*acquisition)
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 || len(as.Lhs) != 1 {
+			return true
+		}
+		rhs := as.Rhs[0]
+		if ta, ok := rhs.(*ast.TypeAssertExpr); ok {
+			rhs = ta.X
+		}
+		call, ok := rhs.(*ast.CallExpr)
+		if !ok || !isPoolMethod(pass, call, "Get") {
+			return true
+		}
+		id, ok := as.Lhs[0].(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return true
+		}
+		obj := pass.TypesInfo.Defs[id]
+		if obj == nil {
+			obj = pass.TypesInfo.Uses[id]
+		}
+		if obj != nil {
+			acquired[obj] = &acquisition{obj: obj, name: id.Name, pos: as}
+		}
+		return true
+	})
+	if len(acquired) == 0 {
+		return
+	}
+
+	// Pass 2: walk with a parent stack, recording releases, escapes, and the
+	// release statements' positions for the use-after-Put check.
+	type release struct {
+		acq  *acquisition
+		stmt ast.Stmt
+	}
+	var releases []release
+	var stack []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		stack = append(stack, n)
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if isPoolMethod(pass, call, "Put") && len(call.Args) == 1 {
+			if acq := resolve(pass, call.Args[0], acquired); acq != nil {
+				acq.released = true
+				// A deferred Put runs at function exit: nothing after it.
+				if !inDefer(stack) {
+					if stmt := enclosingStmt(stack); stmt != nil {
+						releases = append(releases, release{acq: acq, stmt: stmt})
+					}
+				}
+			}
+			return true
+		}
+		// Any other call taking the value as an argument is an escape: the
+		// callee now owns (or forwarded) the buffer.
+		for _, arg := range call.Args {
+			if acq := resolve(pass, arg, acquired); acq != nil {
+				acq.escaped = true
+			}
+		}
+		return true
+	})
+
+	// Returns, stores and sends are escapes too.
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.ReturnStmt:
+			for _, r := range v.Results {
+				if acq := resolve(pass, r, acquired); acq != nil {
+					acq.escaped = true
+				}
+			}
+		case *ast.SendStmt:
+			if acq := resolve(pass, v.Value, acquired); acq != nil {
+				acq.escaped = true
+			}
+		case *ast.CompositeLit:
+			for _, el := range v.Elts {
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					el = kv.Value
+				}
+				if acq := resolve(pass, el, acquired); acq != nil {
+					acq.escaped = true
+				}
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range v.Rhs {
+				acq := resolve(pass, rhs, acquired)
+				if acq == nil {
+					continue
+				}
+				// `other := v` or `x.field = v`: the value now has a second
+				// name or a longer-lived home; stop tracking it here.
+				if i < len(v.Lhs) {
+					if id, ok := v.Lhs[i].(*ast.Ident); ok && pass.TypesInfo.ObjectOf(id) == acq.obj {
+						continue
+					}
+				}
+				acq.escaped = true
+			}
+		}
+		return true
+	})
+
+	for _, acq := range acquired {
+		if !acq.released && !acq.escaped {
+			pass.Reportf(acq.pos.Pos(),
+				"%s is acquired from a sync.Pool but never released with Put and never escapes: the pool silently degrades into an allocator (or annotate //lint:allow poolcheck <reason>)",
+				acq.name)
+		}
+	}
+
+	// Use-after-Put: any mention of the value in statements after the Put
+	// within the same block.
+	for _, rel := range releases {
+		block := enclosingBlock(body, rel.stmt)
+		if block == nil {
+			continue
+		}
+		after := false
+		for _, stmt := range block.List {
+			if stmt == rel.stmt {
+				after = true
+				continue
+			}
+			if !after {
+				continue
+			}
+			ast.Inspect(stmt, func(n ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if ok && pass.TypesInfo.ObjectOf(id) == rel.acq.obj {
+					pass.Reportf(id.Pos(),
+						"%s is used after being released to its sync.Pool: another goroutine may already own it (or annotate //lint:allow poolcheck <reason>)",
+						rel.acq.name)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// isPoolMethod reports whether call invokes (*sync.Pool).<name>.
+func isPoolMethod(pass *analysis.Pass, call *ast.CallExpr, name string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	selection := pass.TypesInfo.Selections[sel]
+	if selection == nil {
+		return false
+	}
+	fn, ok := selection.Obj().(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return false
+	}
+	named := derefNamed(recv.Type())
+	return named != nil && named.Obj().Name() == "Pool"
+}
+
+// resolve returns the acquisition a plain identifier expression refers to.
+func resolve(pass *analysis.Pass, expr ast.Expr, acquired map[types.Object]*acquisition) *acquisition {
+	if p, ok := expr.(*ast.ParenExpr); ok {
+		expr = p.X
+	}
+	id, ok := expr.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj := pass.TypesInfo.ObjectOf(id)
+	if obj == nil {
+		return nil
+	}
+	return acquired[obj]
+}
+
+func inDefer(stack []ast.Node) bool {
+	for _, n := range stack {
+		if _, ok := n.(*ast.DeferStmt); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// enclosingStmt returns the innermost statement on the stack (excluding the
+// call expression itself).
+func enclosingStmt(stack []ast.Node) ast.Stmt {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if s, ok := stack[i].(ast.Stmt); ok {
+			return s
+		}
+	}
+	return nil
+}
+
+// enclosingBlock finds the block whose statement list directly contains stmt.
+func enclosingBlock(body *ast.BlockStmt, stmt ast.Stmt) *ast.BlockStmt {
+	var found *ast.BlockStmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		b, ok := n.(*ast.BlockStmt)
+		if !ok {
+			return true
+		}
+		for _, s := range b.List {
+			if s == stmt {
+				found = b
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func derefNamed(t types.Type) *types.Named {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}

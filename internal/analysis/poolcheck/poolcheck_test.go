@@ -1,0 +1,12 @@
+package poolcheck_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/poolcheck"
+)
+
+func TestPoolDiscipline(t *testing.T) {
+	analysistest.Run(t, "testdata/src/pool", "fixture/pool", poolcheck.Analyzer)
+}

@@ -1,0 +1,45 @@
+// Package pool is a rapid-vet fixture for the pooled-buffer check: leaks,
+// use-after-Put, and the ownership transfers that are legal.
+package pool
+
+import "sync"
+
+var bufs = sync.Pool{New: func() interface{} { b := make([]byte, 0, 64); return &b }}
+
+func leak() int {
+	b := bufs.Get().(*[]byte) // want `never released with Put and never escapes`
+	return len(*b)
+}
+
+func roundTrip() int {
+	b := bufs.Get().(*[]byte)
+	n := len(*b)
+	bufs.Put(b)
+	return n
+}
+
+func useAfterPut() int {
+	b := bufs.Get().(*[]byte)
+	bufs.Put(b)
+	return len(*b) // want `used after being released to its sync.Pool`
+}
+
+func deferred() int {
+	b := bufs.Get().(*[]byte)
+	defer bufs.Put(b)
+	return len(*b) // a deferred Put runs at function exit, after every use
+}
+
+func handOff() {
+	b := bufs.Get().(*[]byte)
+	consume(b) // the callee owns the buffer now; releasing is its problem
+}
+
+func consume(b *[]byte) {
+	bufs.Put(b)
+}
+
+func allowedLeak() int {
+	b := bufs.Get().(*[]byte) //lint:allow poolcheck fixture demonstrates the escape hatch
+	return len(*b)
+}

@@ -1,0 +1,46 @@
+package analysis_test
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRepoIsVetClean builds rapid-vet and runs it over the whole repo: the
+// tree must satisfy its own invariants. This is the local equivalent of the
+// CI rapid-vet job, so an invariant regression fails `go test ./...` even
+// where CI is not running.
+func TestRepoIsVetClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-tree vet sweep runs in the plain test lane only")
+	}
+
+	gomod, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		t.Fatalf("go env GOMOD: %v", err)
+	}
+	root := filepath.Dir(strings.TrimSpace(string(gomod)))
+	if root == "." || root == "/" {
+		t.Fatalf("cannot locate module root from GOMOD %q", gomod)
+	}
+
+	tool := filepath.Join(t.TempDir(), "rapid-vet")
+	build := exec.Command("go", "build", "-o", tool, "./cmd/rapid-vet")
+	build.Dir = root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building rapid-vet: %v\n%s", err, out)
+	}
+
+	vet := exec.Command("go", "vet", "-vettool="+tool, "./...")
+	vet.Dir = root
+	var out bytes.Buffer
+	vet.Stdout = &out
+	vet.Stderr = &out
+	if err := vet.Run(); err != nil {
+		t.Fatalf("the repo violates its own invariants (go vet -vettool=rapid-vet ./...):\n%s", out.String())
+	}
+	_ = os.Remove(tool)
+}

@@ -1,0 +1,117 @@
+// Package simclockcheck enforces the repo's determinism invariant: protocol
+// code never reads the wall clock or arms real timers directly. Every
+// duration must flow through simclock.Clock, which is what lets simnet runs
+// replay deterministically from a seed (PR 3's
+// TestDeterministicTraceAcrossShards) and lets unit tests drive timeouts with
+// a manual clock instead of sleeping.
+//
+// The check forbids the time functions that observe or schedule real time
+// (time.Now, Sleep, Since, Until, After, AfterFunc, Tick, NewTimer,
+// NewTicker) in the protocol packages; pure data uses of package time
+// (time.Duration, time.Millisecond, time.Time values) stay legal. Wall-clock
+// sites that are legitimately real-time — the tcpnet transport, harness
+// measurement, cmd binaries — either live outside the protocol set or carry
+// an explicit //lint:allow simclock <reason>.
+package simclockcheck
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// forbidden are the time package functions that observe or schedule real
+// time. Everything else in package time is timeless data manipulation.
+var forbidden = map[string]bool{
+	"Now":       true,
+	"Sleep":     true,
+	"Since":     true,
+	"Until":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+// protocolLeaves are the final import-path segments of the packages whose
+// code must be deterministic under simnet. A package also qualifies when any
+// path segment is "apps" (the §7 workload models). The names — not full
+// paths — are matched so that analysistest fixtures named after a protocol
+// package exercise the real configuration.
+var protocolLeaves = map[string]bool{
+	"core":        true,
+	"cutdetect":   true,
+	"fastpaxos":   true,
+	"edgefd":      true,
+	"gossipfd":    true,
+	"broadcast":   true,
+	"simnet":      true,
+	"experiments": true,
+}
+
+// Analyzer is the simclock-discipline check.
+var Analyzer = &analysis.Analyzer{
+	Name: "simclock",
+	Doc:  "forbid wall-clock time functions in protocol packages; all time must flow through simclock.Clock",
+	Run:  run,
+}
+
+// IsProtocolPackage reports whether the import path belongs to the
+// deterministic protocol set.
+func IsProtocolPackage(path string) bool {
+	segments := strings.Split(path, "/")
+	for _, s := range segments {
+		if s == "apps" {
+			return true
+		}
+	}
+	return protocolLeaves[segments[len(segments)-1]]
+}
+
+func run(pass *analysis.Pass) error {
+	if !IsProtocolPackage(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		// Map the local name of the "time" import in this file; it is almost
+		// always "time" but aliasing must not defeat the check.
+		timeName := ""
+		for _, imp := range f.Imports {
+			if strings.Trim(imp.Path.Value, `"`) != "time" {
+				continue
+			}
+			timeName = "time"
+			if imp.Name != nil {
+				timeName = imp.Name.Name
+			}
+		}
+		if timeName == "" || timeName == "_" {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || !forbidden[sel.Sel.Name] {
+				return true
+			}
+			ident, ok := sel.X.(*ast.Ident)
+			if !ok || ident.Name != timeName {
+				return true
+			}
+			// The identifier must resolve to the package, not a local variable
+			// shadowing it.
+			if obj := pass.TypesInfo.Uses[ident]; obj != nil {
+				if _, isPkg := obj.(*types.PkgName); !isPkg {
+					return true
+				}
+			}
+			pass.Reportf(sel.Pos(),
+				"time.%s in protocol package %s: use simclock.Clock so simnet runs stay deterministic (or annotate //lint:allow simclock <reason>)",
+				sel.Sel.Name, pass.Pkg.Path())
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,7 @@
+package core
+
+import tm "time"
+
+func aliased() tm.Time {
+	return tm.Now() // want `time.Now in protocol package`
+}

@@ -1,0 +1,35 @@
+// Package core is a rapid-vet fixture whose import path ends in a protocol
+// leaf, so the simclock check applies in full.
+package core
+
+import "time"
+
+// Pure data uses of package time stay legal everywhere.
+const tick = 50 * time.Millisecond
+
+func deadline() time.Time {
+	return time.Now() // want `time.Now in protocol package`
+}
+
+func wait() {
+	time.Sleep(tick) // want `time.Sleep in protocol package`
+}
+
+func measured() time.Duration {
+	start := time.Now()      //lint:allow simclock fixture demonstrates the inline escape hatch
+	return time.Since(start) // want `time.Since in protocol package`
+}
+
+func standalone() <-chan time.Time {
+	//lint:allow simclock fixture demonstrates the standalone escape hatch
+	return time.After(tick)
+}
+
+type stopwatch struct{}
+
+func (stopwatch) Now() int { return 0 }
+
+func shadowed() int {
+	time := stopwatch{}
+	return time.Now() // a local shadowing the package is not a wall-clock read
+}

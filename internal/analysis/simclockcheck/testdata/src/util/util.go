@@ -1,0 +1,9 @@
+// Package util is a rapid-vet fixture outside the protocol set: wall-clock
+// reads are legal here.
+package util
+
+import "time"
+
+func Stamp() time.Time {
+	return time.Now()
+}

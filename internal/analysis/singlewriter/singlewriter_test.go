@@ -1,0 +1,12 @@
+package singlewriter_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/singlewriter"
+)
+
+func TestSingleWriter(t *testing.T) {
+	analysistest.Run(t, "testdata/src/engine", "fixture/engine", singlewriter.Analyzer)
+}

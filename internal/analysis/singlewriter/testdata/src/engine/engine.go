@@ -1,0 +1,57 @@
+// Package engine is a rapid-vet fixture for the single-writer check: a
+// miniature event-loop owner with marked fields, an entry root, and the
+// access shapes the analyzer must and must not flag.
+package engine
+
+type engine struct {
+	view    int // engine-owned
+	applied int
+}
+
+// newEngine builds the engine. engine-entry: construction happens-before the
+// loop goroutine starts.
+func newEngine() *engine {
+	return &engine{view: 1}
+}
+
+// run is the event loop. engine-entry: the single-writer goroutine itself.
+func (e *engine) run() {
+	e.view++ // an entry root owns the field
+	e.step()
+	go e.publish()
+	go func() {
+		e.view = 0 // want `function literal accesses engine-owned field "view"`
+	}()
+	defer func() {
+		e.view++ // a deferred literal runs on the loop goroutine
+	}()
+	sink(e.step) // a method value handed to a callback slot keeps step reachable
+}
+
+func (e *engine) step() {
+	e.view++ // reachable from run through the call graph
+}
+
+func (e *engine) publish() {
+	_ = e.view // want `method publish accesses engine-owned field "view"`
+}
+
+// Handler runs on a caller goroutine, not the loop.
+func (e *engine) Handler() int {
+	return e.view // want `method Handler accesses engine-owned field "view"`
+}
+
+func (e *engine) Applied() int {
+	return e.applied // unmarked fields are out of scope
+}
+
+// Allowed documents a deliberate exception.
+func (e *engine) Allowed() int {
+	return e.view //lint:allow singlewriter fixture demonstrates the escape hatch
+}
+
+func reset(e *engine) {
+	*e = engine{view: 0} // want `function reset accesses engine-owned field "view"`
+}
+
+func sink(func()) {}

@@ -1,0 +1,237 @@
+// Package snapshotcheck enforces snapshot immutability: the slices and maps
+// handed out by the membership snapshot accessors are shared — one
+// ViewChange.Members slice goes to every subscriber and join response — so
+// callers must treat them as read-only. Enforcing this at vet time is also
+// what lets accessors that defensively copy today (Cluster.Members) drop the
+// O(N) copy later (the ROADMAP's copy-on-write member lists) without
+// auditing every caller first.
+//
+// The check tracks expressions whose value comes from a curated set of
+// read-only sources — accessor methods and snapshot-carrying struct fields —
+// directly or through a local variable, and reports element writes, map
+// writes/deletes, appends, and in-place sorts of them. A caller that needs a
+// mutable copy must clone first (append([]T(nil), s...)); a deliberate
+// exception carries //lint:allow snapshot <reason>.
+package snapshotcheck
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// MethodSource identifies an accessor method whose result is read-only.
+type MethodSource struct {
+	PkgPath, TypeName, Method string
+}
+
+// FieldSource identifies a struct field whose value is read-only for
+// everyone but the engine that published it.
+type FieldSource struct {
+	PkgPath, TypeName, Field string
+}
+
+// ReadOnlyMethods is the curated accessor set. Tests may append fixture
+// entries before running the analyzer.
+var ReadOnlyMethods = []MethodSource{
+	{"repro/internal/core", "Cluster", "Members"},
+	{"repro/internal/core", "Cluster", "Metadata"},
+	{"repro/internal/view", "View", "Members"},
+	{"repro/internal/view", "View", "MemberAddrs"},
+	{"repro/internal/harness", "Fleet", "RapidStats"},
+}
+
+// ReadOnlyFields is the curated field set: data published once and read by
+// many goroutines.
+var ReadOnlyFields = []FieldSource{
+	{"repro/internal/core", "ViewChange", "Members"},
+	{"repro/internal/core", "ViewChange", "Changes"},
+	{"repro/internal/core", "snapshot", "members"},
+	{"repro/internal/core", "snapshot", "byAddr"},
+	{"repro/internal/core", "snapshot", "pastConfigs"},
+}
+
+// sorters are the standard in-place sorts whose first argument is mutated.
+var sorters = map[string]map[string]bool{
+	"sort":   {"Slice": true, "SliceStable": true, "Sort": true, "Stable": true, "Strings": true, "Ints": true, "Float64s": true},
+	"slices": {"Sort": true, "SortFunc": true, "SortStableFunc": true, "Reverse": true},
+}
+
+// Analyzer is the snapshot-immutability check.
+var Analyzer = &analysis.Analyzer{
+	Name: "snapshot",
+	Doc:  "results of snapshot accessors (Members, Metadata, RapidStats, ViewChange fields) must not be mutated; clone before writing",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	// Pass 1: locals assigned (directly) from a read-only source.
+	readOnlyVars := make(map[types.Object]string)
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			src, ok := sourceOf(pass, rhs, readOnlyVars)
+			if !ok {
+				continue
+			}
+			if id, isIdent := as.Lhs[i].(*ast.Ident); isIdent && id.Name != "_" {
+				if obj := pass.TypesInfo.ObjectOf(id); obj != nil {
+					readOnlyVars[obj] = src
+				}
+			}
+		}
+		return true
+	})
+
+	report := func(pos ast.Node, verb, src string) {
+		pass.Reportf(pos.Pos(),
+			"%s %s, which is a shared membership snapshot: clone it first with append([]T(nil), s...) (or annotate //lint:allow snapshot <reason>)",
+			verb, src)
+	}
+
+	// Pass 2: mutations.
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range v.Lhs {
+				if idx, ok := lhs.(*ast.IndexExpr); ok {
+					if src, ro := sourceOf(pass, idx.X, readOnlyVars); ro {
+						report(lhs, "assigns into", src)
+					}
+				}
+			}
+		case *ast.IncDecStmt:
+			if idx, ok := v.X.(*ast.IndexExpr); ok {
+				if src, ro := sourceOf(pass, idx.X, readOnlyVars); ro {
+					report(v, "mutates an element of", src)
+				}
+			}
+		case *ast.CallExpr:
+			switch fun := v.Fun.(type) {
+			case *ast.Ident:
+				if fun.Name == "delete" && len(v.Args) == 2 && isBuiltin(pass, fun) {
+					if src, ro := sourceOf(pass, v.Args[0], readOnlyVars); ro {
+						report(v, "deletes from", src)
+					}
+				}
+				if fun.Name == "append" && len(v.Args) > 0 && isBuiltin(pass, fun) {
+					if src, ro := sourceOf(pass, v.Args[0], readOnlyVars); ro {
+						report(v, "appends to", src)
+					}
+				}
+			case *ast.SelectorExpr:
+				if pkg, ok := fun.X.(*ast.Ident); ok && len(v.Args) > 0 {
+					if obj, isPkg := pass.TypesInfo.Uses[pkg].(*types.PkgName); isPkg && sorters[obj.Imported().Path()][fun.Sel.Name] {
+						if src, ro := sourceOf(pass, v.Args[0], readOnlyVars); ro {
+							report(v, "sorts in place", src)
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// sourceOf reports whether expr's value comes from a read-only source and
+// names the source for the diagnostic.
+func sourceOf(pass *analysis.Pass, expr ast.Expr, readOnlyVars map[types.Object]string) (string, bool) {
+	for {
+		if p, ok := expr.(*ast.ParenExpr); ok {
+			expr = p.X
+			continue
+		}
+		break
+	}
+	switch v := expr.(type) {
+	case *ast.Ident:
+		if obj := pass.TypesInfo.ObjectOf(v); obj != nil {
+			if src, ok := readOnlyVars[obj]; ok {
+				return src, true
+			}
+		}
+	case *ast.CallExpr:
+		sel, ok := v.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return "", false
+		}
+		selection := pass.TypesInfo.Selections[sel]
+		if selection == nil {
+			return "", false
+		}
+		fn, ok := selection.Obj().(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return "", false
+		}
+		recv := recvTypeName(fn)
+		for _, m := range ReadOnlyMethods {
+			if fn.Pkg().Path() == m.PkgPath && recv == m.TypeName && fn.Name() == m.Method {
+				return m.TypeName + "." + m.Method + "()", true
+			}
+		}
+	case *ast.SelectorExpr:
+		selection := pass.TypesInfo.Selections[v]
+		if selection == nil {
+			return "", false
+		}
+		field, ok := selection.Obj().(*types.Var)
+		if !ok || !field.IsField() || field.Pkg() == nil {
+			return "", false
+		}
+		owner := fieldOwnerName(selection)
+		for _, fs := range ReadOnlyFields {
+			if field.Pkg().Path() == fs.PkgPath && owner == fs.TypeName && field.Name() == fs.Field {
+				return fs.TypeName + "." + fs.Field, true
+			}
+		}
+	}
+	return "", false
+}
+
+func recvTypeName(fn *types.Func) string {
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return ""
+	}
+	t := recv.Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+func fieldOwnerName(selection *types.Selection) string {
+	t := selection.Recv()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+func isBuiltin(pass *analysis.Pass, id *ast.Ident) bool {
+	_, ok := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok
+}

@@ -1,0 +1,52 @@
+// Package registry is a rapid-vet fixture for the snapshot-immutability
+// check. The test registers Registry.Members and the Change fields as
+// read-only sources before running the analyzer.
+package registry
+
+import "sort"
+
+// Change mimics core.ViewChange: one slice and map shared by every reader.
+type Change struct {
+	Members []string
+	Meta    map[string]string
+}
+
+// Registry mimics a snapshot holder like core.Cluster.
+type Registry struct {
+	change Change
+}
+
+// Members returns the shared member list.
+func (r *Registry) Members() []string { return r.change.Members }
+
+func mutateDirect(r *Registry) {
+	r.Members()[0] = "x" // want `assigns into Registry.Members\(\)`
+}
+
+func mutateVar(r *Registry) {
+	m := r.Members()
+	m[0] = "x"         // want `assigns into Registry.Members\(\)`
+	sort.Strings(m)    // want `sorts in place Registry.Members\(\)`
+	_ = append(m, "y") // want `appends to Registry.Members\(\)`
+}
+
+func mutateField(c *Change) {
+	c.Members[0] = "x"  // want `assigns into Change.Members`
+	delete(c.Meta, "k") // want `deletes from Change.Meta`
+}
+
+func cloneFirst(r *Registry) []string {
+	m := append([]string(nil), r.Members()...)
+	sort.Strings(m) // a clone is the caller's to mutate
+	return m
+}
+
+func readOnly(r *Registry) int {
+	m := r.Members()
+	return len(m) // reads never trip the check
+}
+
+func allowed(r *Registry) {
+	m := r.Members()
+	m[0] = "x" //lint:allow snapshot fixture demonstrates the escape hatch
+}

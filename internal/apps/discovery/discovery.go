@@ -23,10 +23,14 @@ import (
 	"time"
 
 	"repro/internal/node"
+	"repro/internal/simclock"
 )
 
 // Options tune the load-balancer model.
 type Options struct {
+	// Clock supplies all time for the model; nil means the wall clock. Tests
+	// and deterministic simulations inject a simclock.Manual.
+	Clock simclock.Clock
 	// BaseLatency is the request latency when the backend is healthy and no
 	// reload is in progress.
 	BaseLatency time.Duration
@@ -71,7 +75,8 @@ func (o Options) Scaled(factor float64) Options {
 
 // LoadBalancer is the modelled nginx front-end.
 type LoadBalancer struct {
-	opts Options
+	opts  Options
+	clock simclock.Clock
 
 	mu          sync.Mutex
 	backends    []node.Addr
@@ -89,8 +94,13 @@ type LoadBalancer struct {
 func NewLoadBalancer(backends []node.Addr, opts Options) *LoadBalancer {
 	sorted := append([]node.Addr(nil), backends...)
 	node.SortAddrs(sorted)
+	clock := opts.Clock
+	if clock == nil {
+		clock = simclock.NewReal()
+	}
 	return &LoadBalancer{
 		opts:       opts,
+		clock:      clock,
 		backends:   sorted,
 		deadActual: make(map[node.Addr]bool),
 	}
@@ -140,7 +150,7 @@ func (lb *LoadBalancer) update(backends []node.Addr, seed bool) {
 	}
 	lb.backends = sorted
 	lb.reloads++
-	lb.reloadUntil = time.Now().Add(lb.opts.ReloadDuration)
+	lb.reloadUntil = lb.clock.Now().Add(lb.opts.ReloadDuration)
 }
 
 // MarkActuallyDead records that a backend has really failed (whether or not
@@ -176,7 +186,7 @@ type RequestResult struct {
 // ServeRequest routes one request round-robin and returns its latency, which
 // accounts for in-progress reloads and dead-but-configured backends.
 func (lb *LoadBalancer) ServeRequest() RequestResult {
-	start := time.Now()
+	start := lb.clock.Now()
 	lb.mu.Lock()
 	if len(lb.backends) == 0 {
 		lb.mu.Unlock()
@@ -184,7 +194,7 @@ func (lb *LoadBalancer) ServeRequest() RequestResult {
 	}
 	backend := lb.backends[lb.rrIndex%len(lb.backends)]
 	lb.rrIndex++
-	reloading := time.Now().Before(lb.reloadUntil)
+	reloading := lb.clock.Now().Before(lb.reloadUntil)
 	dead := lb.deadActual[backend]
 	lb.mu.Unlock()
 
@@ -208,10 +218,10 @@ func (lb *LoadBalancer) RunWorkload(requestsPerSecond int, duration time.Duratio
 	}
 	interval := time.Second / time.Duration(requestsPerSecond)
 	var results []RequestResult
-	deadline := time.Now().Add(duration)
-	for time.Now().Before(deadline) {
+	deadline := lb.clock.Now().Add(duration)
+	for lb.clock.Now().Before(deadline) {
 		results = append(results, lb.ServeRequest())
-		time.Sleep(interval)
+		lb.clock.Sleep(interval)
 	}
 	sort.Slice(results, func(i, j int) bool { return results[i].At.Before(results[j].At) })
 	return results

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"repro/internal/node"
+	"repro/internal/simclock"
 )
 
 // MembershipSource abstracts a membership layer that must be polled (the
@@ -37,6 +38,9 @@ type MembershipSource interface {
 
 // Options tune the platform model.
 type Options struct {
+	// Clock supplies all time for the model; nil means the wall clock. Tests
+	// and deterministic simulations inject a simclock.Manual.
+	Clock simclock.Clock
 	// BaseLatency is the service time of a transaction in steady state.
 	BaseLatency time.Duration
 	// FailoverPause is how long the platform pauses while electing and
@@ -77,6 +81,7 @@ func (o Options) Scaled(factor float64) Options {
 // Platform is the transactional data platform driven by a membership source.
 type Platform struct {
 	opts    Options
+	clock   simclock.Clock
 	servers []node.Addr
 	source  MembershipSource
 
@@ -105,8 +110,13 @@ type Platform struct {
 func NewPlatform(servers []node.Addr, source MembershipSource, opts Options) *Platform {
 	sorted := append([]node.Addr(nil), servers...)
 	node.SortAddrs(sorted)
+	clock := opts.Clock
+	if clock == nil {
+		clock = simclock.NewReal()
+	}
 	p := &Platform{
 		opts:           opts,
+		clock:          clock,
 		servers:        sorted,
 		source:         source,
 		stopCh:         make(chan struct{}),
@@ -170,19 +180,19 @@ func (p *Platform) pickSerializationServer(alive []node.Addr) node.Addr {
 // watchLoop polls a MembershipSource that has no notification stream.
 func (p *Platform) watchLoop() {
 	defer p.wg.Done()
-	// A single reused ticker: time.After inside the loop would allocate a new
+	// A single reused ticker: clock.After inside the loop would allocate a new
 	// timer every iteration, none of which are collected until they fire.
 	interval := p.opts.CheckInterval
 	if interval <= 0 {
 		interval = DefaultOptions().CheckInterval
 	}
-	ticker := time.NewTicker(interval)
+	ticker := p.clock.Ticker(interval)
 	defer ticker.Stop()
 	for {
 		select {
 		case <-p.stopCh:
 			return
-		case <-ticker.C:
+		case <-ticker.C():
 		}
 		p.ApplyMembership(p.source.AliveServers())
 	}
@@ -246,7 +256,7 @@ func (p *Platform) applyMembership(alive []node.Addr, seed bool) {
 	if preferred != p.serialization {
 		if p.serialization != "" || preferred == "" {
 			p.failovers++
-			p.failoverUntil = time.Now().Add(p.opts.FailoverPause)
+			p.failoverUntil = p.clock.Now().Add(p.opts.FailoverPause)
 		}
 		p.serialization = preferred
 	}
@@ -265,19 +275,19 @@ type TxnResult struct {
 // continuously flapping membership degrades latency and throughput — as in
 // Figure 12 — without starving clients completely.
 func (p *Platform) SubmitTransaction() TxnResult {
-	start := time.Now()
+	start := p.clock.Now()
 	p.mu.Lock()
 	pauseUntil := p.failoverUntil
 	hasServer := p.serialization != ""
 	p.mu.Unlock()
 	if !hasServer {
-		time.Sleep(p.opts.CheckInterval)
+		p.clock.Sleep(p.opts.CheckInterval)
 	}
-	if wait := time.Until(pauseUntil); wait > 0 {
-		time.Sleep(wait)
+	if wait := pauseUntil.Sub(p.clock.Now()); wait > 0 {
+		p.clock.Sleep(wait)
 	}
-	time.Sleep(p.opts.BaseLatency)
-	return TxnResult{At: start, Latency: time.Since(start)}
+	p.clock.Sleep(p.opts.BaseLatency)
+	return TxnResult{At: start, Latency: p.clock.Since(start)}
 }
 
 // RunWorkload submits transactions back-to-back from `clients` concurrent
@@ -289,13 +299,13 @@ func (p *Platform) RunWorkload(clients int, duration time.Duration) []TxnResult 
 	}
 	var mu sync.Mutex
 	var results []TxnResult
-	deadline := time.Now().Add(duration)
+	deadline := p.clock.Now().Add(duration)
 	var wg sync.WaitGroup
 	for i := 0; i < clients; i++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for time.Now().Before(deadline) {
+			for p.clock.Now().Before(deadline) {
 				r := p.SubmitTransaction()
 				mu.Lock()
 				results = append(results, r)

@@ -122,7 +122,7 @@ type Cluster struct {
 	started atomic.Bool
 	snap    atomic.Pointer[snapshot]
 	// pastRing orders the recent past configuration IDs for trimming. Only
-	// the engine goroutine (via publishSnapshot) touches it.
+	// the engine goroutine (via publishSnapshot) touches it. engine-owned.
 	pastRing []uint64
 
 	notifier  *notifier

@@ -83,38 +83,42 @@ type batchKey struct {
 }
 
 // engine is the single-writer owner of all protocol state. Only the run
-// goroutine touches these fields after initialization.
+// goroutine touches the engine-owned fields after initialization; rapid-vet's
+// singlewriter analyzer enforces that every access is reachable from an
+// engine-entry root (newEngine, which happens-before the loop goroutine
+// starts, and run itself).
 type engine struct {
 	c *Cluster
 
-	view      *view.View
-	cd        *cutdetect.Detector
-	consensus *fastpaxos.FastPaxos
+	view      *view.View           // engine-owned
+	cd        *cutdetect.Detector  // engine-owned
+	consensus *fastpaxos.FastPaxos // engine-owned
 
-	alertedEdges map[node.Addr]bool
+	alertedEdges map[node.Addr]bool // engine-owned
 	// joinWaiters parks phase-2 join requests until a view change admits the
 	// joiner. The full request is retained so the JOIN alert can be re-filed
 	// under the next configuration if a view change races past the joiner.
+	// engine-owned.
 	joinWaiters map[node.Addr][]*joinEvent
-	viewChanges int
+	viewChanges int // engine-owned
 
 	// Unified outbound batch: alerts and fast-round votes generated within
 	// one batching window leave as a single wire message on the next flush.
-	pendingAlerts []remoting.AlertMessage
-	pendingVotes  []remoting.FastRoundPhase2b
-	outSeq        uint64
+	pendingAlerts []remoting.AlertMessage     // engine-owned
+	pendingVotes  []remoting.FastRoundPhase2b // engine-owned
+	outSeq        uint64                      // engine-owned
 
 	// winCtl sizes the flush window between the configured floor and ceiling
 	// from queue depth and arrival rate (see adaptive.go); arrivals counts
 	// the data-plane events dispatched since the last flush, its rate input.
-	winCtl   windowController
-	arrivals int
+	winCtl   windowController // engine-owned
+	arrivals int              // engine-owned
 
 	// seenBatches deduplicates gossip-forwarded batches per configuration.
-	seenBatches map[batchKey]bool
+	seenBatches map[batchKey]bool // engine-owned
 	// rumors are batches this process still re-gossips on upcoming batch
 	// ticks (push gossip needs multiple rounds for whp coverage).
-	rumors []rumor
+	rumors []rumor // engine-owned
 }
 
 // rumor is one batch awaiting further gossip rounds.
@@ -134,7 +138,10 @@ const maxRumors = 256
 const maxSeenBatches = 8192
 
 // newEngine builds the engine state for the first configuration. It runs on
-// the caller's goroutine; the run loop takes sole ownership afterwards.
+// the caller's goroutine; the run loop takes sole ownership afterwards (the
+// goroutine start gives the required happens-before edge).
+//
+// engine-entry: construction precedes the loop goroutine.
 func newEngine(c *Cluster, members []node.Endpoint) *engine {
 	e := &engine{
 		c:            c,
@@ -162,6 +169,8 @@ func newEngine(c *Cluster, members []node.Endpoint) *engine {
 }
 
 // run is the engine loop: the only goroutine that mutates protocol state.
+//
+// engine-entry: the single-writer goroutine itself.
 func (e *engine) run() {
 	c := e.c
 	defer c.wg.Done()

@@ -81,3 +81,46 @@ func TestBootstrapConvergence1000Smoke(t *testing.T) {
 		cfg.scaledSeconds(p.JoinP50), cfg.scaledSeconds(p.JoinP90), cfg.scaledSeconds(p.JoinP99),
 		p.Messages, p.ShedBatches, p.MinBatchWindow, p.MaxBatchWindow)
 }
+
+// TestBootstrapConvergence200RaceSmoke is the race lane's counterpart to the
+// paper-scale smoke. The 1000-node gate must skip under the race detector
+// (its ~10x instrumentation turns a scale check into a timeout lottery), which
+// previously left the full bootstrap path — expander joins, alert batching,
+// the adaptive window controller — race-checked only at the 100-node churn
+// scenario's intensity. A 200-node bootstrap is the same storm shape at a
+// size the instrumented scheduler finishes comfortably inside the race lane's
+// budget, so the single-writer engine gets race coverage on its heaviest
+// workload too.
+func TestBootstrapConvergence200RaceSmoke(t *testing.T) {
+	if !raceEnabled {
+		t.Skip("medium-N smoke exists for the race lane; the plain lane gates at 1000 nodes")
+	}
+	if !testing.Short() {
+		t.Skip("race smoke runs in the -race -short lane")
+	}
+	cfg := Config{TimeScale: 20, Seed: 1}
+	start := time.Now()
+	points, err := RunBootstrapConvergence(cfg, []int{200}, ConvergenceOptions{
+		Timeout: 4 * time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := points[0]
+	if !p.Converged {
+		t.Fatal("200-node bootstrap did not converge under the race detector")
+	}
+	// Same control-plane gates as the 1000-node smoke, with the same tiny
+	// shedding allowance for instrumented-scheduler hiccups.
+	if p.ShedBatches*1000 > p.Messages {
+		t.Errorf("bootstrap shed %d batches of %d messages; the adaptive window should keep queues under the high-water mark",
+			p.ShedBatches, p.Messages)
+	}
+	bounds := core.ScaledSettings(cfg.TimeScale)
+	if p.MinBatchWindow < bounds.BatchingWindowMin || p.MaxBatchWindow > bounds.BatchingWindowMax {
+		t.Errorf("adaptive window left its bounds: fleet [%v, %v] vs configured [%v, %v]",
+			p.MinBatchWindow, p.MaxBatchWindow, bounds.BatchingWindowMin, bounds.BatchingWindowMax)
+	}
+	t.Logf("200 nodes converged under -race in %s wall (%.0f paper-s); %d msgs; shed=%d",
+		time.Since(start).Round(time.Second), cfg.scaledSeconds(p.ConvergenceTime), p.Messages, p.ShedBatches)
+}

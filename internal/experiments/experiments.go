@@ -30,6 +30,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/node"
 	"repro/internal/remoting"
+	"repro/internal/simclock"
 	"repro/internal/view"
 )
 
@@ -41,6 +42,10 @@ type Config struct {
 	Seed int64
 	// Out receives the printed tables. If nil, printing is skipped.
 	Out io.Writer
+	// Clock paces the runners' waits and fault schedules; nil means the wall
+	// clock, which is what the sweeps need in practice (they drive real fleets
+	// whose protocol timers burn compressed real time).
+	Clock simclock.Clock
 }
 
 // DefaultConfig returns the configuration used by cmd/rapid-bench.
@@ -58,6 +63,14 @@ func (c Config) printf(format string, args ...interface{}) {
 // run back into "paper seconds" for reporting.
 func (c Config) scaledSeconds(d time.Duration) float64 {
 	return d.Seconds() * c.TimeScale
+}
+
+// clock returns the configured clock, defaulting to the wall clock.
+func (c Config) clock() simclock.Clock {
+	if c.Clock != nil {
+		return c.Clock
+	}
+	return simclock.NewReal()
 }
 
 // --- Figures 5, 6, 7 and Table 1: bootstrap ---------------------------------
@@ -92,7 +105,7 @@ func RunBootstrap(cfg Config, system harness.System, n int) (BootstrapResult, er
 	defer fleet.Stop()
 	elapsed, ok := fleet.WaitForSize(n, 120*time.Second)
 	// Let the sampler capture the converged state before reading series.
-	time.Sleep(50 * time.Millisecond)
+	cfg.clock().Sleep(50 * time.Millisecond)
 	res := BootstrapResult{
 		System:          system,
 		N:               n,
@@ -307,7 +320,7 @@ func RunCrash(cfg Config, system harness.System, n, failures int) (CrashResult, 
 	// sizes over the whole run, which is dominated by the transition.
 	fleet.Crash(victims...)
 	elapsed, ok := fleet.WaitForSizeExcluding(n-failures, excluded, 120*time.Second)
-	time.Sleep(50 * time.Millisecond)
+	cfg.clock().Sleep(50 * time.Millisecond)
 	res := CrashResult{
 		System:       system,
 		N:            n,
@@ -496,7 +509,7 @@ func RunFault(cfg Config, system harness.System, fault FaultKind, n int) (FaultR
 				select {
 				case <-stopFault:
 					return
-				case <-time.After(window):
+				case <-cfg.clock().After(window):
 				}
 			}
 		}()
@@ -591,7 +604,7 @@ func RunBandwidth(cfg Config, system harness.System, n, failures int) (Bandwidth
 	fleet.Crash(victims...)
 	fleet.WaitForSizeExcluding(n-len(victims), excluded, 90*time.Second)
 	// Let steady-state traffic accumulate for a short window.
-	time.Sleep(harness.Scale(10*time.Second, cfg.TimeScale))
+	cfg.clock().Sleep(harness.Scale(10*time.Second, cfg.TimeScale))
 
 	var recvRates, sentRates []float64
 	for _, a := range agents {

@@ -163,12 +163,12 @@ func RunTransactionWorkload(cfg Config, servers int, duration time.Duration) ([]
 			if joinErr != nil {
 				return TxnResult{}, joinErr
 			}
-			deadline := time.Now().Add(60 * time.Second)
-			for time.Now().Before(deadline) {
+			deadline := cfg.clock().Now().Add(60 * time.Second)
+			for cfg.clock().Now().Before(deadline) {
 				if seedCluster.Size() == servers {
 					break
 				}
-				time.Sleep(5 * time.Millisecond)
+				cfg.clock().Sleep(5 * time.Millisecond)
 			}
 			// A coordinator other than the serialization server feeds the
 			// platform through the subscriber stream: no polling, every view
@@ -203,7 +203,7 @@ func RunTransactionWorkload(cfg Config, servers int, duration time.Duration) ([]
 		// Inject the blackhole between the serialization server (lowest
 		// address) and one other data server a third of the way into the run.
 		go func() {
-			time.Sleep(duration / 3)
+			cfg.clock().Sleep(duration / 3)
 			net.BlockPair(addrs[0], addrs[servers/2])
 		}()
 
@@ -308,12 +308,12 @@ func RunServiceDiscovery(cfg Config, backends, failures int, duration time.Durat
 			if joinErr != nil {
 				return DiscoveryResult{}, joinErr
 			}
-			deadline := time.Now().Add(60 * time.Second)
-			for time.Now().Before(deadline) {
+			deadline := cfg.clock().Now().Add(60 * time.Second)
+			for cfg.clock().Now().Before(deadline) {
 				if seedCluster.Size() == backends {
 					break
 				}
-				time.Sleep(5 * time.Millisecond)
+				cfg.clock().Sleep(5 * time.Millisecond)
 			}
 			// The load balancer subscribes to view changes from a member that
 			// will not be crashed (the seed); the seed push after Subscribe
@@ -349,24 +349,24 @@ func RunServiceDiscovery(cfg Config, backends, failures int, duration time.Durat
 				}
 				nodes = append(nodes, n)
 			}
-			deadline := time.Now().Add(60 * time.Second)
-			for time.Now().Before(deadline) {
+			deadline := cfg.clock().Now().Add(60 * time.Second)
+			for cfg.clock().Now().Before(deadline) {
 				if seedNode.NumAlive() == backends {
 					break
 				}
-				time.Sleep(5 * time.Millisecond)
+				cfg.clock().Sleep(5 * time.Millisecond)
 			}
 			// The load balancer polls the seed's view, as Serf agents
 			// refresh configuration from their local membership.
 			stopPoll := make(chan struct{})
 			go func() {
-				ticker := time.NewTicker(harness.Scale(time.Second, cfg.TimeScale))
+				ticker := cfg.clock().Ticker(harness.Scale(time.Second, cfg.TimeScale))
 				defer ticker.Stop()
 				for {
 					select {
 					case <-stopPoll:
 						return
-					case <-ticker.C:
+					case <-ticker.C():
 						lb.UpdateBackends(seedNode.AliveMembers())
 					}
 				}
@@ -390,7 +390,7 @@ func RunServiceDiscovery(cfg Config, backends, failures int, duration time.Durat
 		defer cleanup()
 
 		go func() {
-			time.Sleep(duration / 3)
+			cfg.clock().Sleep(duration / 3)
 			crash()
 		}()
 		requests := lb.RunWorkload(400, duration)
