@@ -10,11 +10,17 @@
 //	rapid-bench -exp fig11
 //	rapid-bench -exp fig12 -scale 100
 //	rapid-bench -exp bootstrap -sizes 100,500,1000 -scale 10
+//	rapid-bench -exp scenarios -sizes 1000 -bench-json BENCH_scenarios.json
+//	rapid-bench -exp scenarios -sizes 60 -faults slow,flap -systems rapid
 //
 // Experiments: fig1, fig5 (also covers fig6/fig7/table1), fig8, fig9, fig10,
-// table2, fig11, fig12, fig13, broadcast, eigen, all, and bootstrap — the
-// paper-scale (1000+ node) Figure 5 rerun, which must be selected explicitly
-// because it runs minutes, not seconds, and is therefore not part of "all".
+// table2, fig11, fig12, fig13, broadcast, eigen, all, plus two that must be
+// selected explicitly because they run minutes, not seconds, and are
+// therefore not part of "all": bootstrap — the paper-scale (1000+ node)
+// Figure 5 rerun — and scenarios — the adversarial scenario matrix (fault
+// kind x system x N extended Table 2, with gray failures: slow-but-alive
+// nodes, one-way links, flapping, asymmetric partitions, WAN latency
+// classes, duplicate/reorder delivery).
 package main
 
 import (
@@ -32,16 +38,18 @@ import (
 
 func main() {
 	var (
-		expName   = flag.String("exp", "all", "experiment to run (fig1,fig5,fig8,fig9,fig10,table2,fig11,fig12,fig13,broadcast,eigen,all,bootstrap)")
+		expName   = flag.String("exp", "all", "experiment to run (fig1,fig5,fig8,fig9,fig10,table2,fig11,fig12,fig13,broadcast,eigen,all,bootstrap,scenarios)")
 		scale     = flag.Float64("scale", 50, "time compression factor (50 = 1 paper-second -> 20ms)")
 		n         = flag.Int("n", 60, "cluster size for failure experiments")
 		sizes     = flag.String("sizes", "30,60,100", "comma-separated cluster sizes for bootstrap experiments (bootstrap default: 100,500,1000,2000)")
 		seed      = flag.Int64("seed", 1, "random seed")
-		shards    = flag.Int("shards", 0, "bootstrap experiment only: simnet delivery shards (0 = default); raise with available cores for 1000+ node runs")
+		shards    = flag.Int("shards", 0, "bootstrap/scenarios experiments only: simnet delivery shards (0 = default); raise with available cores for 1000+ node runs")
 		joinconc  = flag.Int("joinconc", 0, "bootstrap experiment only: max concurrent joins (0 = all at once)")
 		batchMin  = flag.Duration("batch-min", 0, "bootstrap experiment only: adaptive batching window floor (0 = scaled default)")
 		batchMax  = flag.Duration("batch-max", 0, "bootstrap experiment only: adaptive batching window ceiling (0 = scaled default)")
-		benchJSON = flag.String("bench-json", "", "bootstrap experiment only: write the sweep results as JSON to this path")
+		benchJSON = flag.String("bench-json", "", "bootstrap/scenarios experiments only: write the results as JSON to this path")
+		faults    = flag.String("faults", "all", "scenarios experiment only: comma-separated fault kinds (crash,slow,oneway-links,flap,asym-partition,wan-zones,dup-reorder,egress-loss-80) or all")
+		systems   = flag.String("systems", "rapid,memberlist,rapid-c", "scenarios experiment only: comma-separated systems (rapid,memberlist,rapid-c,zookeeper)")
 	)
 	flag.Parse()
 
@@ -181,12 +189,102 @@ func main() {
 			return nil
 		})
 	}
+	// The adversarial scenario matrix is opt-in only: at the default size it
+	// runs fault kind x system cells at N=1000 and takes minutes.
+	if selected == "scenarios" {
+		run("Adversarial scenario matrix: extended Table 2", func() error {
+			kinds, err := parseFaults(*faults)
+			if err != nil {
+				return err
+			}
+			sys, err := parseSystems(*systems)
+			if err != nil {
+				return err
+			}
+			// An explicitly passed -sizes wins; otherwise run at paper scale.
+			sizesSet := false
+			flag.Visit(func(f *flag.Flag) {
+				if f.Name == "sizes" {
+					sizesSet = true
+				}
+			})
+			sweep := bootstrapSizes
+			if !sizesSet {
+				sweep = []int{1000}
+			}
+			cells, err := experiments.RunScenarioMatrix(cfg, experiments.ScenarioOptions{
+				Systems: sys,
+				Kinds:   kinds,
+				Sizes:   sweep,
+				Shards:  *shards,
+			})
+			if err != nil {
+				return err
+			}
+			if *benchJSON != "" {
+				if err := writeScenarioJSON(*benchJSON, cfg, cells); err != nil {
+					return fmt.Errorf("write -bench-json: %w", err)
+				}
+				fmt.Printf("wrote %s\n", *benchJSON)
+			}
+			return nil
+		})
+	}
 	if want("eigen") {
 		run("Section 8: expander analysis", func() error {
 			experiments.RunExpansion(cfg, 10, []int{100, 250, 500, 1000}, 3)
 			return nil
 		})
 	}
+}
+
+// parseFaults resolves the -faults flag into scenario kinds.
+func parseFaults(s string) ([]experiments.ScenarioKind, error) {
+	if strings.TrimSpace(strings.ToLower(s)) == "all" || strings.TrimSpace(s) == "" {
+		return experiments.AllScenarioKinds(), nil
+	}
+	known := make(map[experiments.ScenarioKind]bool)
+	for _, k := range experiments.AllScenarioKinds() {
+		known[k] = true
+	}
+	var out []experiments.ScenarioKind
+	for _, part := range strings.Split(s, ",") {
+		k := experiments.ScenarioKind(strings.TrimSpace(strings.ToLower(part)))
+		if k == "" {
+			continue
+		}
+		if !known[k] {
+			return nil, fmt.Errorf("unknown fault kind %q", k)
+		}
+		out = append(out, k)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no fault kinds given")
+	}
+	return out, nil
+}
+
+// parseSystems resolves the -systems flag.
+func parseSystems(s string) ([]harness.System, error) {
+	known := map[harness.System]bool{
+		harness.SystemRapid: true, harness.SystemRapidC: true,
+		harness.SystemMemberlist: true, harness.SystemZooKeeper: true,
+	}
+	var out []harness.System
+	for _, part := range strings.Split(s, ",") {
+		sys := harness.System(strings.TrimSpace(strings.ToLower(part)))
+		if sys == "" {
+			continue
+		}
+		if !known[sys] {
+			return nil, fmt.Errorf("unknown system %q", sys)
+		}
+		out = append(out, sys)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no systems given")
+	}
+	return out, nil
 }
 
 // benchPoint is the machine-readable form of one bootstrap sweep row.
@@ -236,6 +334,71 @@ func writeBenchJSON(path string, cfg experiments.Config, points []experiments.Bo
 			QueueFullSeconds: p.QueueFullTime.Seconds(),
 			MinBatchWindowMs: float64(p.MinBatchWindow) / float64(time.Millisecond),
 			MaxBatchWindowMs: float64(p.MaxBatchWindow) / float64(time.Millisecond),
+		})
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// scenarioPoint is the machine-readable form of one scenario-matrix cell.
+// Times are paper-seconds so files from different -scale runs stay
+// comparable.
+type scenarioPoint struct {
+	Fault                string  `json:"fault"`
+	System               string  `json:"system"`
+	N                    int     `json:"n"`
+	Victims              int     `json:"victims"`
+	FormationOK          bool    `json:"formation_ok"`
+	RemovalExpected      bool    `json:"removal_expected"`
+	Detected             bool    `json:"detected"`
+	DetectPaperS         float64 `json:"detect_paper_s"`
+	Agreed               bool    `json:"agreed"`
+	AgreedSize           int     `json:"agreed_size"`
+	AgreePaperS          float64 `json:"agree_paper_s"`
+	MinReported          int     `json:"min_reported"`
+	MaxReported          int     `json:"max_reported"`
+	UnnecessaryEvictions int     `json:"unnecessary_evictions"`
+	UniqueSizes          int     `json:"unique_sizes"`
+	Messages             int64   `json:"messages"`
+	MsgsPerNode          float64 `json:"msgs_per_node"`
+	Duplicates           int64   `json:"duplicates"`
+}
+
+// scenarioFile is the envelope written by -exp scenarios -bench-json.
+type scenarioFile struct {
+	Experiment string          `json:"experiment"`
+	TimeScale  float64         `json:"time_scale"`
+	Seed       int64           `json:"seed"`
+	Cells      []scenarioPoint `json:"cells"`
+}
+
+// writeScenarioJSON records the matrix so the extended Table 2 has a
+// machine-readable form to diff across changes.
+func writeScenarioJSON(path string, cfg experiments.Config, cells []experiments.ScenarioCell) error {
+	out := scenarioFile{Experiment: "scenarios", TimeScale: cfg.TimeScale, Seed: cfg.Seed}
+	for _, c := range cells {
+		out.Cells = append(out.Cells, scenarioPoint{
+			Fault:                string(c.Kind),
+			System:               string(c.System),
+			N:                    c.N,
+			Victims:              c.Victims,
+			FormationOK:          c.FormationOK,
+			RemovalExpected:      c.RemovalExpected,
+			Detected:             c.Detected,
+			DetectPaperS:         c.DetectTime.Seconds() * cfg.TimeScale,
+			Agreed:               c.Agreed,
+			AgreedSize:           c.AgreedSize,
+			AgreePaperS:          c.AgreeTime.Seconds() * cfg.TimeScale,
+			MinReported:          c.MinReported,
+			MaxReported:          c.MaxReported,
+			UnnecessaryEvictions: c.UnnecessaryEvictions,
+			UniqueSizes:          c.UniqueSizes,
+			Messages:             c.Messages,
+			MsgsPerNode:          c.MsgsPerNode,
+			Duplicates:           c.Duplicates,
 		})
 	}
 	data, err := json.MarshalIndent(out, "", "  ")

@@ -6,6 +6,8 @@
 //
 //	rapid-sim -system rapid -n 40 -fault crash -victims 4
 //	rapid-sim -system memberlist -n 40 -fault egress-loss -victims 1
+//	rapid-sim -system rapid -n 60 -fault slow -victims 1
+//	rapid-sim -system rapid -n 60 -fault flap -victims 1
 package main
 
 import (
@@ -16,13 +18,14 @@ import (
 
 	"repro/internal/harness"
 	"repro/internal/node"
+	"repro/internal/simnet"
 )
 
 func main() {
 	var (
 		system   = flag.String("system", "rapid", "membership system: rapid, rapid-c, memberlist, zookeeper")
 		n        = flag.Int("n", 40, "cluster size")
-		fault    = flag.String("fault", "crash", "fault to inject: none, crash, egress-loss, ingress-block")
+		fault    = flag.String("fault", "crash", "fault to inject: none, crash, egress-loss, ingress-block, slow, oneway, flap, deaf, wan, chaos")
 		victims  = flag.Int("victims", 2, "number of faulty nodes")
 		scale    = flag.Float64("scale", 50, "time compression factor")
 		duration = flag.Duration("duration", 20*time.Second, "wall-clock time to observe after the fault")
@@ -71,6 +74,29 @@ func main() {
 		for _, v := range victimAddrs {
 			fleet.Net.SetIngressLoss(v, 1.0)
 		}
+	case "slow":
+		// Slow-but-alive: one-way delay past the probe timeout.
+		fleet.SlowNodes(harness.Scale(800*time.Millisecond, *scale), victimAddrs...)
+	case "oneway":
+		// One-way link failures from each victim to every even-indexed member.
+		for _, v := range victimAddrs {
+			var dsts []node.Addr
+			for i := 0; i < *n; i += 2 {
+				if a := harness.MemberAddr(i); a != v {
+					dsts = append(dsts, a)
+				}
+			}
+			fleet.BlockOneWay(v, dsts...)
+		}
+	case "flap":
+		w := harness.Scale(20*time.Second, *scale)
+		fleet.Flap(simnet.FlapSpec{Loss: 1.0, Ingress: true, On: w, Off: w}, victimAddrs...)
+	case "deaf":
+		fleet.PartitionDeaf(victimAddrs...)
+	case "wan":
+		fleet.WAN(3, harness.Scale(50*time.Millisecond, *scale), harness.Scale(150*time.Millisecond, *scale))
+	case "chaos":
+		fleet.Chaos(simnet.ChaosSpec{Duplicate: 0.1, Reorder: 0.3, MaxJitter: harness.Scale(100*time.Millisecond, *scale)})
 	default:
 		fmt.Fprintf(os.Stderr, "unknown fault %q\n", *fault)
 		os.Exit(2)

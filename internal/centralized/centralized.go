@@ -44,13 +44,23 @@ type EnsembleSettings struct {
 	K, H, L int
 	// ConsensusFallbackBase is the delay before classical Paxos recovery.
 	ConsensusFallbackBase time.Duration
+	// ProposalBatchWindow is how long a ready proposal waits for more
+	// subjects before the ensemble runs consensus on it. A join alert
+	// carries all K rings at once and so satisfies H by itself; without a
+	// window a mass bootstrap degenerates to one view change per joiner.
+	ProposalBatchWindow time.Duration
 	// Clock supplies time.
 	Clock simclock.Clock
 }
 
 // DefaultEnsembleSettings mirrors the decentralized defaults.
 func DefaultEnsembleSettings() EnsembleSettings {
-	return EnsembleSettings{K: 10, H: 9, L: 3, ConsensusFallbackBase: 4 * time.Second, Clock: simclock.NewReal()}
+	return EnsembleSettings{
+		K: 10, H: 9, L: 3,
+		ConsensusFallbackBase: 4 * time.Second,
+		ProposalBatchWindow:   time.Second,
+		Clock:                 simclock.NewReal(),
+	}
 }
 
 // EnsembleNode is one member of the auxiliary service S. A typical deployment
@@ -70,6 +80,19 @@ type EnsembleNode struct {
 	broadcaster *broadcast.UnicastToAll
 	viewChanges int
 	stopped     bool
+	// joinAlerted records joiners whose JOIN alert this node already
+	// broadcast in the current configuration, so the retry storm of a mass
+	// bootstrap (thousands of joiners re-requesting every poll interval)
+	// costs one alert per joiner per view change instead of three ensemble
+	// messages per retry. Cleared on every decide.
+	joinAlerted map[node.Addr]bool
+	// pendingProposal accumulates proposal subjects during the batching
+	// window; windowGen invalidates an in-flight window when a decide
+	// lands first. Guarded by mu.
+	pendingProposal []node.Endpoint
+	pendingSet      map[node.Addr]bool
+	windowOpen      bool
+	windowGen       uint64
 }
 
 // StartEnsemble boots the given ensemble addresses on the supplied network and
@@ -89,6 +112,9 @@ func StartEnsemble(addrs []node.Addr, settings EnsembleSettings, net transport.N
 	}
 	if settings.ConsensusFallbackBase <= 0 {
 		settings.ConsensusFallbackBase = 4 * time.Second
+	}
+	if settings.ProposalBatchWindow <= 0 {
+		settings.ProposalBatchWindow = time.Second
 	}
 	sorted := append([]node.Addr(nil), addrs...)
 	node.SortAddrs(sorted)
@@ -251,6 +277,14 @@ func (e *EnsembleNode) handleJoin(msg *remoting.JoinRequest) *remoting.Response 
 	status := e.clusterView.IsSafeToJoin(msg.Sender, msg.JoinerID)
 	cfg := e.clusterView.ConfigurationID()
 	members := e.clusterView.Members()
+	alreadyAlerted := false
+	if status == remoting.JoinSafeToJoin {
+		if e.joinAlerted == nil {
+			e.joinAlerted = make(map[node.Addr]bool)
+		}
+		alreadyAlerted = e.joinAlerted[msg.Sender]
+		e.joinAlerted[msg.Sender] = true
+	}
 	e.mu.Unlock()
 
 	if status == remoting.JoinHostAlreadyInRing {
@@ -261,6 +295,11 @@ func (e *EnsembleNode) handleJoin(msg *remoting.JoinRequest) *remoting.Response 
 	}
 	if status != remoting.JoinSafeToJoin {
 		return &remoting.Response{Join: &remoting.JoinResponse{Sender: e.addr, Status: status, ConfigurationID: cfg}}
+	}
+	if alreadyAlerted {
+		// This joiner's alert is already in flight for this configuration;
+		// acknowledge the retry without re-flooding the ensemble.
+		return &remoting.Response{Join: &remoting.JoinResponse{Sender: e.addr, Status: remoting.JoinSafeToJoin, ConfigurationID: cfg}}
 	}
 	rings := make([]int, e.settings.K)
 	for i := range rings {
@@ -337,29 +376,55 @@ func (e *EnsembleNode) handleAlerts(batch *remoting.BatchedAlertMessage) {
 		e.mu.Unlock()
 		return
 	}
-	seen := make(map[node.Addr]bool)
-	var deduped []node.Endpoint
+	// Merge into the pending proposal and (re)arm the batching window: a
+	// single join alert satisfies H on its own, so proposing immediately
+	// would run one consensus round per joiner during a mass bootstrap.
+	// The window collects every subject that becomes proposable within it
+	// into one view change, like the decentralized engine's alert batching.
+	if e.pendingSet == nil {
+		e.pendingSet = make(map[node.Addr]bool)
+	}
 	for _, ep := range proposal {
-		if !seen[ep.Addr] {
-			seen[ep.Addr] = true
-			deduped = append(deduped, ep)
+		if !e.pendingSet[ep.Addr] {
+			e.pendingSet[ep.Addr] = true
+			e.pendingProposal = append(e.pendingProposal, ep)
 		}
 	}
-	sort.Slice(deduped, func(i, j int) bool { return deduped[i].Addr < deduped[j].Addr })
-	cons := e.consensus
-	alreadyProposed := cons.HasProposed()
-	base := e.settings.ConsensusFallbackBase
-	e.mu.Unlock()
-
-	if alreadyProposed {
+	if e.windowOpen || e.consensus.HasProposed() {
+		e.mu.Unlock()
 		return
 	}
-	cons.Propose(deduped)
+	e.windowOpen = true
+	gen := e.windowGen
+	window := e.settings.ProposalBatchWindow
+	e.mu.Unlock()
+
 	go func() {
-		e.clock.Sleep(base)
-		if !cons.Decided() {
-			cons.StartClassicalRound()
+		e.clock.Sleep(window)
+		e.mu.Lock()
+		if e.stopped || gen != e.windowGen {
+			e.mu.Unlock()
+			return
 		}
+		e.windowOpen = false
+		deduped := e.pendingProposal
+		e.pendingProposal, e.pendingSet = nil, nil
+		cons := e.consensus
+		alreadyProposed := cons.HasProposed()
+		base := e.settings.ConsensusFallbackBase
+		e.mu.Unlock()
+
+		if alreadyProposed || len(deduped) == 0 {
+			return
+		}
+		sort.Slice(deduped, func(i, j int) bool { return deduped[i].Addr < deduped[j].Addr })
+		cons.Propose(deduped)
+		go func() {
+			e.clock.Sleep(base)
+			if !cons.Decided() {
+				cons.StartClassicalRound()
+			}
+		}()
 	}()
 }
 
@@ -379,6 +444,13 @@ func (e *EnsembleNode) onDecide(proposal []node.Endpoint) {
 	}
 	e.viewChanges++
 	e.cd.Clear()
+	e.joinAlerted = nil
+	// Invalidate any open batching window: its subjects were aggregated
+	// against the configuration that just changed, and their alerts will
+	// re-arrive (and re-aggregate) under the new one if still relevant.
+	e.pendingProposal, e.pendingSet = nil, nil
+	e.windowOpen = false
+	e.windowGen++
 	e.consensus = e.newConsensusLocked()
 }
 
@@ -492,7 +564,11 @@ func (m *Member) join() error {
 	deadline := m.clock.Now().Add(m.settings.JoinTimeout)
 	for m.clock.Now().Before(deadline) {
 		for _, ens := range m.ensemble {
-			ctx, cancel := context.WithTimeout(context.Background(), m.settings.JoinTimeout)
+			// Bound each attempt like a probe, not by the whole join budget:
+			// under a join storm an ensemble endpoint can back up for
+			// seconds, and one blocked Send must not consume the deadline
+			// that the retry loop exists to spend.
+			ctx, cancel := context.WithTimeout(context.Background(), m.settings.ProbeTimeout*4)
 			_, _ = m.client.Send(ctx, ens, &remoting.Request{Join: &remoting.JoinRequest{
 				Sender:   m.me.Addr,
 				JoinerID: m.me.ID,

@@ -12,6 +12,7 @@ import (
 func scaledEnsembleSettings() EnsembleSettings {
 	s := DefaultEnsembleSettings()
 	s.ConsensusFallbackBase = 200 * time.Millisecond
+	s.ProposalBatchWindow = 20 * time.Millisecond
 	return s
 }
 

@@ -1,0 +1,183 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/node"
+)
+
+// scenarioTestOptions bounds every scenario-cell test run: small timeouts so
+// a cell where detection legitimately fails (part of what the matrix
+// measures) cannot stall the suite.
+func scenarioTestOptions() ScenarioOptions {
+	return ScenarioOptions{
+		FormationTimeout: 120 * time.Second,
+		DetectTimeout:    30 * time.Second,
+		AgreeTimeout:     40 * time.Second,
+		FaultWindow:      30 * time.Second,
+	}
+}
+
+// TestScenarioKindTable pins the matrix's shape: at least the six gray
+// fault kinds the acceptance grid requires, with consistent victim/outcome
+// classification (global kinds have no victims and expect no evictions).
+func TestScenarioKindTable(t *testing.T) {
+	kinds := AllScenarioKinds()
+	if len(kinds) < 6 {
+		t.Fatalf("scenario matrix has %d fault kinds, want >= 6", len(kinds))
+	}
+	seen := map[ScenarioKind]bool{}
+	for _, k := range kinds {
+		if seen[k] {
+			t.Fatalf("duplicate kind %q", k)
+		}
+		seen[k] = true
+		if k.global() && k.removalExpected() {
+			t.Fatalf("kind %q is whole-network but expects victim removal", k)
+		}
+	}
+	for _, want := range []ScenarioKind{ScenarioSlow, ScenarioOneWay, ScenarioFlap, ScenarioAsym, ScenarioWAN, ScenarioChaos} {
+		if !seen[want] {
+			t.Fatalf("gray fault kind %q missing from the matrix", want)
+		}
+	}
+}
+
+func TestAddrIndexEven(t *testing.T) {
+	cases := []struct {
+		addr string
+		want bool
+	}{
+		{"m0000:9000", true}, {"m0001:9000", false}, {"m0042:9000", true},
+		{"m0977:9000", false}, {"seed-0:9000", false}, {"zk-registry:2181", false},
+	}
+	for _, c := range cases {
+		if got := addrIndexEven(node.Addr(c.addr)); got != c.want {
+			t.Errorf("addrIndexEven(%q) = %v, want %v", c.addr, got, c.want)
+		}
+	}
+}
+
+// TestScenarioConformanceAfterFaultClears is the protocol-conformance suite:
+// for every system, after a scenario-matrix fault is injected and then
+// cleared, all live members must converge back to one agreed membership
+// within the bounded agreement window. Detection is *measured* by the matrix
+// but deliberately not asserted here — whether a baseline evicts a gray
+// victim is a finding, not a invariant; settling on a single view afterwards
+// is the invariant every membership service must keep.
+func TestScenarioConformanceAfterFaultClears(t *testing.T) {
+	systems := []harness.System{harness.SystemRapid, harness.SystemMemberlist, harness.SystemRapidC}
+	kinds := []ScenarioKind{ScenarioCrash, ScenarioSlow, ScenarioAsym, ScenarioEgressLoss, ScenarioWAN, ScenarioChaos}
+	if testing.Short() {
+		// The short lanes (plain smoke and -race) keep one gray cell per
+		// system; the full grid runs in the plain `go test ./...` tier.
+		kinds = []ScenarioKind{ScenarioSlow}
+	}
+	cfg := Config{TimeScale: 100, Seed: 42}
+	for _, system := range systems {
+		for _, kind := range kinds {
+			system, kind := system, kind
+			t.Run(string(system)+"/"+string(kind), func(t *testing.T) {
+				cell, err := RunScenarioCell(cfg, system, kind, 30, scenarioTestOptions())
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !cell.FormationOK {
+					t.Fatalf("%s did not form a 30-member cluster before the fault", system)
+				}
+				if !cell.Agreed {
+					t.Fatalf("%s: live members did not agree on one membership after %s cleared (size range [%d, %d])",
+						system, kind, cell.MinReported, cell.MaxReported)
+				}
+				if cell.AgreedSize < cell.N-cell.Victims {
+					t.Fatalf("%s: agreed size %d after %s implies %d unnecessary evictions",
+						system, cell.AgreedSize, kind, cell.UnnecessaryEvictions)
+				}
+				t.Logf("%s/%s: detected=%v in %.1f paper-s, agreed on %d in %.1f paper-s, %0.f msgs/node",
+					system, kind, cell.Detected, cfg.scaledSeconds(cell.DetectTime),
+					cell.AgreedSize, cfg.scaledSeconds(cell.AgreeTime), cell.MsgsPerNode)
+			})
+		}
+	}
+}
+
+// TestScenarioMatrixShortSmoke is the CI smoke for the full matrix plumbing:
+// one Rapid cell per fault kind at laptop size, -short lane only (CI invokes
+// it as a dedicated step), skipped under race (the race lane gets its own
+// gray cell below).
+func TestScenarioMatrixShortSmoke(t *testing.T) {
+	if raceEnabled {
+		t.Skip("matrix smoke skipped under -race (TestScenarioGrayFailureRaceSmoke covers the gray cell)")
+	}
+	if !testing.Short() {
+		t.Skip("matrix smoke runs in the dedicated -short lane: go test -short -run TestScenarioMatrixShortSmoke ./internal/experiments/")
+	}
+	cfg := Config{TimeScale: 100, Seed: 42}
+	opts := scenarioTestOptions()
+	opts.Systems = []harness.System{harness.SystemRapid}
+	// N=60, not 30: the one-way, flap and deaf kinds need N >> K so the
+	// victim's noise alerts cannot evict a healthy member (see
+	// ScenarioOneWay and the Figure 9 note in docs/EXPERIMENTS.md).
+	opts.Sizes = []int{60}
+	// Even at N=60 that precondition is only marginally satisfied: a victim
+	// whose egress still works keeps alerting against healthy members, and
+	// under host-scheduler jitter one healthy member is occasionally cut
+	// before the victim itself. The committed N=1000 capture shows zero
+	// unnecessary evictions for every kind, so the smoke tolerates a single
+	// such eviction for the victim-noise kinds only — everything else
+	// (formation, post-clear agreement, all other kinds) stays strict.
+	victimNoise := map[ScenarioKind]bool{ScenarioOneWay: true, ScenarioFlap: true, ScenarioAsym: true}
+	cells, err := RunScenarioMatrix(cfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != len(AllScenarioKinds()) {
+		t.Fatalf("matrix produced %d cells, want %d", len(cells), len(AllScenarioKinds()))
+	}
+	for _, c := range cells {
+		if !c.FormationOK {
+			t.Errorf("%s: formation failed", c.Kind)
+			continue
+		}
+		if !c.Agreed {
+			t.Errorf("%s: no post-clear agreement (size range [%d, %d])", c.Kind, c.MinReported, c.MaxReported)
+		}
+		noiseEviction := victimNoise[c.Kind] && c.UnnecessaryEvictions == 1
+		if c.UnnecessaryEvictions > 0 {
+			if noiseEviction {
+				t.Logf("%s: tolerated one noise-alert eviction at laptop N (zero at N=1000; see docs/EXPERIMENTS.md)", c.Kind)
+			} else {
+				t.Errorf("%s: Rapid evicted %d healthy members", c.Kind, c.UnnecessaryEvictions)
+			}
+		}
+		if c.RemovalExpected && !c.Detected && !noiseEviction {
+			t.Errorf("%s: Rapid did not evict the faulty member within the bound", c.Kind)
+		}
+	}
+}
+
+// TestScenarioGrayFailureRaceSmoke runs one gray-failure cell (slow-but-alive
+// victim) under the race detector: the delay pumps, flap evaluation and
+// chaos draws added to simnet all sit on the hot delivery path, so one cell
+// exercising them end-to-end belongs in the race lane.
+func TestScenarioGrayFailureRaceSmoke(t *testing.T) {
+	if !raceEnabled {
+		t.Skip("gray race cell exists for the -race lane; the plain lane runs the full short smoke")
+	}
+	if !testing.Short() {
+		t.Skip("race smoke runs in the -race -short lane")
+	}
+	cfg := Config{TimeScale: 100, Seed: 42}
+	cell, err := RunScenarioCell(cfg, harness.SystemRapid, ScenarioSlow, 30, scenarioTestOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cell.FormationOK || !cell.Agreed {
+		t.Fatalf("gray cell unhealthy under -race: formed=%v agreed=%v", cell.FormationOK, cell.Agreed)
+	}
+	if cell.UnnecessaryEvictions > 0 {
+		t.Fatalf("Rapid evicted %d healthy members under a slow-node fault", cell.UnnecessaryEvictions)
+	}
+}

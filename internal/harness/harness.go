@@ -203,6 +203,7 @@ func (f *Fleet) startInfrastructure() error {
 	case SystemRapidC:
 		ens := centralized.DefaultEnsembleSettings()
 		ens.ConsensusFallbackBase = scaled(4*time.Second, f.Options.TimeScale)
+		ens.ProposalBatchWindow = scaled(time.Second, f.Options.TimeScale)
 		nodes, err := centralized.StartEnsemble(ensembleAddrs(), ens, f.Net)
 		if err != nil {
 			return err
@@ -312,7 +313,10 @@ func (f *Fleet) startMember(i int) (Agent, error) {
 		ms.PollInterval = scaled(5*time.Second, f.Options.TimeScale)
 		ms.ProbeInterval = scaled(time.Second, f.Options.TimeScale)
 		ms.ProbeTimeout = scaled(500*time.Millisecond, f.Options.TimeScale)
-		ms.JoinTimeout = 30 * time.Second
+		// A wall-clock retry budget, not a protocol duration: small fleets
+		// join in milliseconds regardless, but a 1000-member storm against
+		// the 3-node ensemble needs minutes on a saturated core.
+		ms.JoinTimeout = 180 * time.Second
 		m, err := centralized.JoinViaEnsemble(addr, ensembleAddrs(), ms, f.Net)
 		if err != nil {
 			return nil, err
@@ -518,6 +522,110 @@ func (f *Fleet) Crash(addrs ...node.Addr) {
 	for _, a := range addrs {
 		f.Net.Crash(a)
 	}
+}
+
+// --- fault controls ----------------------------------------------------------
+//
+// Thin veneers over simnet's composable fault kinds, so experiments inject
+// gray failures through the fleet they are measuring. All of them are
+// reverted by ClearFaults.
+
+// SlowNodes makes the given members slow-but-alive: every message they send
+// or receive pays an extra one-way delay d. A non-positive d restores them.
+func (f *Fleet) SlowNodes(d time.Duration, addrs ...node.Addr) {
+	for _, a := range addrs {
+		f.Net.SetNodeDelay(a, d)
+	}
+}
+
+// Flap installs the same schedule-toggled loss rule on every given member
+// (the Figure 9 flip-flop when Loss is 1 and Ingress is set).
+func (f *Fleet) Flap(spec simnet.FlapSpec, addrs ...node.Addr) {
+	for _, a := range addrs {
+		f.Net.SetFlap(a, spec)
+	}
+}
+
+// PartitionDeaf installs an asymmetric partition: the given members stop
+// hearing the rest of the cluster while their own traffic still flows.
+func (f *Fleet) PartitionDeaf(addrs ...node.Addr) {
+	f.Net.SetAsymmetricPartition(addrs...)
+}
+
+// BlockOneWay fails the one-way links src -> dst for every given dst; traffic
+// in the opposite direction is untouched.
+func (f *Fleet) BlockOneWay(src node.Addr, dsts ...node.Addr) {
+	for _, d := range dsts {
+		f.Net.BlockDirectional(src, d)
+	}
+}
+
+// WAN overlays zone-based per-link latency classes on the whole network:
+// members hash into `zones` zones, intra-zone links cost intra one-way,
+// cross-zone links cost inter.
+func (f *Fleet) WAN(zones int, intra, inter time.Duration) {
+	f.Net.SetLatencyModel(simnet.ZoneLatency(zones, intra, inter))
+}
+
+// Chaos installs best-effort duplication/reordering on the whole network.
+func (f *Fleet) Chaos(spec simnet.ChaosSpec) {
+	f.Net.SetChaos(spec)
+}
+
+// ClearFaults removes every installed fault rule of every kind.
+func (f *Fleet) ClearFaults() {
+	f.Net.ClearFaults()
+}
+
+// ReportedSizeRange returns the smallest and largest cluster size currently
+// reported by the non-excluded agents (0, 0 when none qualify).
+func (f *Fleet) ReportedSizeRange(excluded map[node.Addr]bool) (int, int) {
+	lo, hi, seen := 0, 0, false
+	for _, a := range f.Agents() {
+		if excluded[a.Addr()] {
+			continue
+		}
+		s := a.ReportedSize()
+		if !seen || s < lo {
+			lo = s
+		}
+		if !seen || s > hi {
+			hi = s
+		}
+		seen = true
+	}
+	return lo, hi
+}
+
+// WaitForAgreement blocks until every non-excluded agent reports one
+// identical, stable cluster size — whatever that size is — or the timeout
+// elapses. It is the conformance check run after a fault clears: the live
+// members must converge back to a single agreed membership. The agreed size,
+// the time that took, and whether agreement was reached are returned.
+func (f *Fleet) WaitForAgreement(excluded map[node.Addr]bool, timeout time.Duration) (int, time.Duration, bool) {
+	begin := time.Now()
+	deadline := begin.Add(timeout)
+	stable, lastSize := 0, -1
+	for time.Now().Before(deadline) {
+		lo, hi := f.ReportedSizeRange(excluded)
+		if lo == hi && lo > 0 {
+			if lo == lastSize {
+				stable++
+			} else {
+				stable, lastSize = 1, lo
+			}
+			// Three consecutive identical polls: agreement, not a transient
+			// coincidence mid-view-change.
+			if stable >= 3 {
+				return lo, time.Since(begin), true
+			}
+		} else {
+			stable, lastSize = 0, -1
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	lo, hi := f.ReportedSizeRange(excluded)
+	return lo, time.Since(begin), lo == hi && lo > 0
 }
 
 // Stop shuts down sampling, all agents, the infrastructure, and the simulated

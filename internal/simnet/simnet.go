@@ -6,6 +6,14 @@
 // node pairs, crashes, and optional per-message latency. It can also account
 // sent/received bytes per node to regenerate Table 2.
 //
+// Beyond the paper's faults, a composable fault-kind layer (faults.go) adds
+// the gray-failure vocabulary of the adversarial scenario matrix: per-node
+// delay injection (slow-but-alive processes), WAN-style per-link latency
+// classes, loss rules that flap on a simclock schedule, asymmetric
+// partitions, and best-effort duplication/reordering. All of them install
+// and remove at runtime like the loss rules, shard the same way, and draw
+// any randomness from the per-shard seeded RNGs so traces replay.
+//
 // The network is built to carry paper-scale fleets (1000–2000 nodes) in one
 // process. Nothing funnels through a global dispatcher: endpoints, fault
 // rules, RNG state, message counters and the best-effort delivery queues are
@@ -50,6 +58,13 @@ type deliveryEvent struct {
 
 var eventPool = sync.Pool{New: func() any { return new(deliveryEvent) }}
 
+// releaseEvent returns an undeliverable event's inbox slot and recycles it.
+func releaseEvent(ev *deliveryEvent) {
+	ev.st.pending.Add(-1)
+	*ev = deliveryEvent{}
+	eventPool.Put(ev)
+}
+
 // eventQueue is a growable FIFO ring of pooled delivery events. The overall
 // backlog is bounded by the per-destination pending counters (the queue never
 // holds more than the sum of every endpoint's inbox bound), so the ring only
@@ -71,9 +86,7 @@ func (q *eventQueue) push(ev *deliveryEvent) {
 	q.mu.Lock()
 	if q.closed {
 		q.mu.Unlock()
-		ev.st.pending.Add(-1)
-		*ev = deliveryEvent{}
-		eventPool.Put(ev)
+		releaseEvent(ev)
 		return
 	}
 	if q.len == len(q.buf) {
@@ -132,7 +145,10 @@ type Options struct {
 	Clock simclock.Clock
 	// Seed makes drop decisions reproducible.
 	Seed int64
-	// Latency, if non-zero, is added to every synchronous request/response.
+	// Latency, if non-zero, is added to every message: each direction of a
+	// synchronous request/response pays it (racing the caller's context
+	// deadline), and best-effort messages are held in the destination
+	// shard's delay heap until it elapses.
 	Latency time.Duration
 	// AccountBandwidth enables per-node byte accounting. It costs one sizing
 	// pass per message (RequestSize/ResponseSize over the binary codec, with
@@ -160,11 +176,18 @@ type shard struct {
 	egressLoss  map[node.Addr]float64
 	// blackholes for a (src, dst) pair live on src's shard.
 	blackholes map[[2]node.Addr]bool
+	// delays holds the slow-but-alive rules (per-node one-way delay).
+	delays map[node.Addr]time.Duration
+	// flaps holds the schedule-toggled loss rules, evaluated at message time.
+	flaps map[node.Addr]flapRule
 
 	rngMu sync.Mutex
 	rng   *rand.Rand
 
 	queue eventQueue
+	// delayed holds best-effort messages whose delivery deadline lies in the
+	// future (latency simulation, slow nodes, WAN classes, reorder jitter).
+	delayed delayQueue
 
 	msgTotal  atomic.Int64
 	msgCounts sync.Map // request kind -> *atomic.Int64
@@ -182,11 +205,22 @@ type Network struct {
 	shards    []*shard
 	shardMask uint32
 
-	// faultRules counts installed loss/blackhole rules and crashedCount the
-	// crash markers. When both are zero — the entire bootstrap workload — the
-	// per-message fault check short-circuits without touching any shard lock.
+	// faultRules counts installed drop-deciding rules (loss, blackholes,
+	// flaps, the asymmetric partition) and crashedCount the crash markers.
+	// When both are zero — the entire bootstrap workload — the per-message
+	// fault check short-circuits without touching any shard lock.
 	faultRules   atomic.Int64
 	crashedCount atomic.Int64
+	// delayRules counts installed delay rules (per-node delays plus the
+	// latency model); zero keeps the extra-delay lookup to one atomic load.
+	// flapCount gates the clock read that flap evaluation needs.
+	delayRules atomic.Int64
+	flapCount  atomic.Int64
+
+	latencyModel atomic.Pointer[latencyModelBox]
+	partition    atomic.Pointer[asymPartition]
+	chaos        atomic.Pointer[ChaosSpec]
+	dups         atomic.Int64
 
 	accounting bool
 	inboxSize  int
@@ -230,13 +264,17 @@ func New(opts Options) *Network {
 			ingressLoss: make(map[node.Addr]float64),
 			egressLoss:  make(map[node.Addr]float64),
 			blackholes:  make(map[[2]node.Addr]bool),
+			delays:      make(map[node.Addr]time.Duration),
+			flaps:       make(map[node.Addr]flapRule),
 			rng:         rand.New(rand.NewSource(opts.Seed + int64(i))),
 			recorders:   make(map[node.Addr]*metrics.BandwidthRecorder),
 		}
 		s.queue.init()
+		s.delayed.init()
 		n.shards[i] = s
-		n.workers.Add(1)
+		n.workers.Add(2)
 		go n.deliverLoop(s)
+		go n.delayPump(s)
 	}
 	return n
 }
@@ -248,6 +286,7 @@ func New(opts Options) *Network {
 func (n *Network) Close() {
 	n.closeOnce.Do(func() {
 		for _, s := range n.shards {
+			s.delayed.close()
 			s.queue.close()
 		}
 	})
@@ -488,17 +527,28 @@ func (n *Network) UnblockPair(a, b node.Addr) {
 	n.UnblockDirectional(b, a)
 }
 
-// ClearFaults removes every loss and blackhole rule.
+// ClearFaults removes every installed fault rule: loss, blackholes, flaps,
+// the asymmetric partition, per-node delays, the latency model and chaos.
+// (Options.Latency, being part of the network itself, stays.)
 func (n *Network) ClearFaults() {
 	for _, s := range n.shards {
 		s.mu.Lock()
-		removed := int64(len(s.ingressLoss) + len(s.egressLoss) + len(s.blackholes))
+		removed := int64(len(s.ingressLoss) + len(s.egressLoss) + len(s.blackholes) + len(s.flaps))
+		flapped := int64(len(s.flaps))
+		delays := int64(len(s.delays))
 		s.ingressLoss = make(map[node.Addr]float64)
 		s.egressLoss = make(map[node.Addr]float64)
 		s.blackholes = make(map[[2]node.Addr]bool)
+		s.flaps = make(map[node.Addr]flapRule)
+		s.delays = make(map[node.Addr]time.Duration)
 		s.mu.Unlock()
 		n.faultRules.Add(-removed)
+		n.flapCount.Add(-flapped)
+		n.delayRules.Add(-delays)
 	}
+	n.ClearAsymmetricPartition()
+	n.SetLatencyModel(nil)
+	n.ClearChaos()
 }
 
 // --- bandwidth accounting ---------------------------------------------------
@@ -556,16 +606,29 @@ func (s *shard) chance(p float64) bool {
 }
 
 // allowed checks the fault rules for a packet from src to dst. With no rules
-// installed anywhere — the common case — it is two atomic loads.
+// installed anywhere — the common case — it is two atomic loads. Flap rules
+// fold into the loss probabilities of whichever direction they cover, so the
+// RNG draw order (egress on the source shard, then ingress on the
+// destination shard) is identical with and without flaps active.
 func (n *Network) allowed(src, dst node.Addr) bool {
 	if n.faultRules.Load() == 0 && n.crashedCount.Load() == 0 {
 		return true
+	}
+	if p := n.partition.Load(); p != nil && p.blocked(src, dst) {
+		return false
+	}
+	var now time.Time
+	if n.flapCount.Load() > 0 {
+		now = n.clock.Now()
 	}
 	ss := n.shardFor(src)
 	ss.mu.RLock()
 	egress := ss.egressLoss[src]
 	blocked := ss.blackholes[[2]node.Addr{src, dst}]
 	crashed := ss.crashed[src]
+	if fr, ok := ss.flaps[src]; ok && !fr.Ingress && fr.active(now) && fr.Loss > egress {
+		egress = fr.Loss
+	}
 	ss.mu.RUnlock()
 	if blocked || crashed {
 		return false
@@ -573,6 +636,9 @@ func (n *Network) allowed(src, dst node.Addr) bool {
 	ds := n.shardFor(dst)
 	ds.mu.RLock()
 	ingress := ds.ingressLoss[dst]
+	if fr, ok := ds.flaps[dst]; ok && fr.Ingress && fr.active(now) && fr.Loss > ingress {
+		ingress = fr.Loss
+	}
 	ds.mu.RUnlock()
 	if ss.chance(egress) {
 		return false
@@ -597,15 +663,34 @@ type client struct {
 	from node.Addr
 }
 
+// sleepCtx waits out one direction's propagation delay, honoring the
+// caller's deadline: a slow link makes RPCs *time out*, not merely take
+// longer, which is what turns delay injection into a protocol-visible gray
+// failure (probers bound each RPC with a context deadline).
+func (n *Network) sleepCtx(ctx context.Context, d time.Duration) bool {
+	if ctx == nil || ctx.Done() == nil {
+		n.clock.Sleep(d)
+		return true
+	}
+	select {
+	case <-ctx.Done():
+		return false
+	case <-n.clock.After(d):
+		return true
+	}
+}
+
 // Send implements transport.Client. Both the request and the response path
 // are subject to fault rules, so one-way partitions affect RPCs correctly:
 // a node whose ingress is blocked can still send requests but never hears
-// responses.
+// responses. Propagation delay (Options.Latency plus any delay rules) is
+// paid per direction and races the context deadline.
 func (c *client) Send(ctx context.Context, to node.Addr, req *remoting.Request) (*remoting.Response, error) {
 	n := c.net
 	n.shardFor(c.from).countMessage(req)
-	if n.latency > 0 {
-		n.clock.Sleep(n.latency)
+	delay := n.latency + n.extraDelay(c.from, to)
+	if delay > 0 && !n.sleepCtx(ctx, delay) {
+		return nil, transport.ErrTimeout
 	}
 	if !n.allowed(c.from, to) {
 		return nil, transport.ErrUnreachable
@@ -623,8 +708,8 @@ func (c *client) Send(ctx context.Context, to node.Addr, req *remoting.Request) 
 		return nil, transport.ErrTimeout
 	}
 	n.account(c.from, to, req, resp)
-	if n.latency > 0 {
-		n.clock.Sleep(n.latency)
+	if delay > 0 && !n.sleepCtx(ctx, delay) {
+		return nil, transport.ErrTimeout
 	}
 	return resp, nil
 }
@@ -636,7 +721,8 @@ func (c *client) Send(ctx context.Context, to node.Addr, req *remoting.Request) 
 // pool and per-kind counters are pre-existing atomics.
 func (c *client) SendBestEffort(to node.Addr, req *remoting.Request) {
 	n := c.net
-	n.shardFor(c.from).countMessage(req)
+	src := n.shardFor(c.from)
+	src.countMessage(req)
 	if !n.allowed(c.from, to) {
 		return
 	}
@@ -644,15 +730,45 @@ func (c *client) SendBestEffort(to node.Addr, req *remoting.Request) {
 	if !ok {
 		return
 	}
+	delay := n.latency + n.extraDelay(c.from, to)
+	if ch := n.chaos.Load(); ch != nil {
+		// Chaos draws happen on the source shard in send order (after the
+		// loss draws of allowed), keeping traces seed-reproducible.
+		var jitter time.Duration
+		if src.chance(ch.Reorder) {
+			jitter = src.randJitter(ch.MaxJitter)
+		}
+		if src.chance(ch.Duplicate) {
+			dupJitter := src.randJitter(ch.MaxJitter)
+			n.dups.Add(1)
+			n.deliverBestEffort(c.from, to, st, req, delay+dupJitter)
+		}
+		delay += jitter
+	}
+	n.deliverBestEffort(c.from, to, st, req, delay)
+}
+
+// deliverBestEffort queues one best-effort copy: immediately when it carries
+// no delay, through the destination shard's delay heap otherwise. Each copy
+// consumes an inbox slot (a duplicate beyond the destination's backlog bound
+// is dropped like any other message).
+func (n *Network) deliverBestEffort(from, to node.Addr, st *endpointState, req *remoting.Request, delay time.Duration) {
 	// Backlog bound per destination, like a UDP socket buffer under load.
 	if int(st.pending.Add(1)) > n.inboxSize {
 		st.pending.Add(-1)
 		return
 	}
-	n.account(c.from, to, req, nil)
+	n.account(from, to, req, nil)
 	ev := eventPool.Get().(*deliveryEvent)
-	ev.from, ev.req, ev.st = c.from, req, st
-	n.shardFor(to).queue.push(ev)
+	ev.from, ev.req, ev.st = from, req, st
+	s := n.shardFor(to)
+	if delay <= 0 {
+		s.queue.push(ev)
+		return
+	}
+	if !s.delayed.push(ev, n.clock.Now().Add(delay)) {
+		releaseEvent(ev)
+	}
 }
 
 var _ transport.Network = (*Network)(nil)

@@ -21,6 +21,7 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/node"
@@ -178,8 +179,104 @@ type Node struct {
 	rng         *rand.Rand
 	stopped     bool
 
+	// Derived indexes, maintained incrementally under mu so the hot paths
+	// never rescan or re-sort the member table: order holds every known
+	// member address sorted (snapshot), probeOrder holds the non-Dead
+	// members excluding self, sorted (probe/helper/push-pull target
+	// selection), and unstable counts members not currently Alive (lets
+	// reapLoop skip its scan entirely on a healthy cluster). alive is the
+	// Alive+Suspect count including self, read lock-free by NumAlive so
+	// harness polls over 1000 nodes cannot convoy on mu.
+	order      []node.Addr
+	probeOrder []node.Addr
+	unstable   int
+	alive      atomic.Int64
+
 	stopCh chan struct{}
 	wg     sync.WaitGroup
+}
+
+// countsAlive reports whether a status contributes to NumAlive (SWIM counts
+// suspects as members until the suspicion timeout declares them dead).
+func countsAlive(s Status) bool { return s == Alive || s == Suspect }
+
+// insertAddr adds a to a sorted address slice (no-op if present).
+func insertAddr(list []node.Addr, a node.Addr) []node.Addr {
+	i := sort.Search(len(list), func(i int) bool { return list[i] >= a })
+	if i < len(list) && list[i] == a {
+		return list
+	}
+	list = append(list, "")
+	copy(list[i+1:], list[i:])
+	list[i] = a
+	return list
+}
+
+// removeAddr deletes a from a sorted address slice (no-op if absent).
+func removeAddr(list []node.Addr, a node.Addr) []node.Addr {
+	i := sort.Search(len(list), func(i int) bool { return list[i] >= a })
+	if i >= len(list) || list[i] != a {
+		return list
+	}
+	copy(list[i:], list[i+1:])
+	return list[:len(list)-1]
+}
+
+// addMemberLocked inserts a brand-new member and updates every index.
+func (n *Node) addMemberLocked(m *memberState) {
+	n.members[m.addr] = m
+	n.order = insertAddr(n.order, m.addr)
+	if m.addr != n.addr && m.status != Dead {
+		n.probeOrder = insertAddr(n.probeOrder, m.addr)
+	}
+	if countsAlive(m.status) {
+		n.alive.Add(1)
+	}
+	if m.status != Alive {
+		n.unstable++
+	}
+}
+
+// setStatusLocked transitions a member's status, keeping the indexes exact.
+func (n *Node) setStatusLocked(m *memberState, s Status) {
+	if countsAlive(m.status) != countsAlive(s) {
+		if countsAlive(s) {
+			n.alive.Add(1)
+		} else {
+			n.alive.Add(-1)
+		}
+	}
+	if m.addr != n.addr {
+		wasTarget, isTarget := m.status != Dead, s != Dead
+		if wasTarget && !isTarget {
+			n.probeOrder = removeAddr(n.probeOrder, m.addr)
+		} else if !wasTarget && isTarget {
+			n.probeOrder = insertAddr(n.probeOrder, m.addr)
+		}
+	}
+	if (m.status != Alive) != (s != Alive) {
+		if s != Alive {
+			n.unstable++
+		} else {
+			n.unstable--
+		}
+	}
+	m.status = s
+}
+
+// deleteMemberLocked reaps a member and updates every index.
+func (n *Node) deleteMemberLocked(m *memberState) {
+	if countsAlive(m.status) {
+		n.alive.Add(-1)
+	}
+	if m.addr != n.addr && m.status != Dead {
+		n.probeOrder = removeAddr(n.probeOrder, m.addr)
+	}
+	if m.status != Alive {
+		n.unstable--
+	}
+	n.order = removeAddr(n.order, m.addr)
+	delete(n.members, m.addr)
 }
 
 // Start creates a SWIM node and, if seeds are provided, joins through them by
@@ -201,7 +298,7 @@ func Start(addr node.Addr, seeds []node.Addr, opts Options, net transport.Networ
 		rng:     rand.New(rand.NewSource(opts.Seed ^ int64(len(addr)))),
 		stopCh:  make(chan struct{}),
 	}
-	n.members[addr] = &memberState{addr: addr, status: Alive, since: n.clock.Now()}
+	n.addMemberLocked(&memberState{addr: addr, status: Alive, since: n.clock.Now()})
 	if err := net.Register(addr, n); err != nil {
 		return nil, err
 	}
@@ -236,16 +333,11 @@ func (n *Node) Stop() {
 func (n *Node) Addr() node.Addr { return n.addr }
 
 // NumAlive returns the number of members believed alive (including self).
+// It reads an atomically maintained counter, so fleet-wide pollers (the
+// harness samples every node's size every few milliseconds) never contend
+// with the protocol loops for mu.
 func (n *Node) NumAlive() int {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	count := 0
-	for _, m := range n.members {
-		if m.status == Alive || m.status == Suspect {
-			count++
-		}
-	}
-	return count
+	return int(n.alive.Load())
 }
 
 // AliveMembers returns the addresses believed alive, sorted.
@@ -314,19 +406,28 @@ func (n *Node) reapLoop() {
 		}
 		now := n.clock.Now()
 		n.mu.Lock()
+		if n.unstable == 0 {
+			// Healthy cluster: nothing Suspect or Dead, skip the scan.
+			n.mu.Unlock()
+			continue
+		}
+		var reaped []*memberState
 		for addr, m := range n.members {
 			switch m.status {
 			case Suspect:
 				if now.Sub(m.since) >= n.opts.SuspicionTimeout {
-					m.status = Dead
+					n.setStatusLocked(m, Dead)
 					m.since = now
 					n.enqueueLocked(Update{Addr: addr, Status: Dead, Incarnation: m.incarnation})
 				}
 			case Dead:
 				if now.Sub(m.since) >= n.opts.DeadReapTimeout {
-					delete(n.members, addr)
+					reaped = append(reaped, m)
 				}
 			}
+		}
+		for _, m := range reaped {
+			n.deleteMemberLocked(m)
 		}
 		n.mu.Unlock()
 	}
@@ -337,17 +438,13 @@ func (n *Node) reapLoop() {
 func (n *Node) pickProbeTarget() (node.Addr, bool) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	var candidates []node.Addr
-	for addr, m := range n.members {
-		if addr != n.addr && m.status != Dead {
-			candidates = append(candidates, addr)
-		}
-	}
-	if len(candidates) == 0 {
+	// probeOrder is exactly the sorted non-Dead non-self candidate set the
+	// old per-call scan built, maintained incrementally: same RNG draw over
+	// the same slice, without an O(N log N) sort on every probe interval.
+	if len(n.probeOrder) == 0 {
 		return "", false
 	}
-	node.SortAddrs(candidates)
-	return candidates[n.rng.Intn(len(candidates))], true
+	return n.probeOrder[n.rng.Intn(len(n.probeOrder))], true
 }
 
 func (n *Node) probe(target node.Addr) bool {
@@ -381,16 +478,24 @@ func (n *Node) indirectProbe(target node.Addr) bool {
 func (n *Node) pickHelpers(target node.Addr, k int) []node.Addr {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	var candidates []node.Addr
-	for addr, m := range n.members {
-		if addr != n.addr && addr != target && m.status == Alive {
+	// Walk the maintained sorted candidate index instead of re-sorting the
+	// member table, and draw k helpers with a partial Fisher-Yates instead
+	// of shuffling all N (indirect probes fire on every failed probe, so
+	// this path is hot exactly when the cluster is degraded).
+	candidates := make([]node.Addr, 0, len(n.probeOrder))
+	for _, addr := range n.probeOrder {
+		if addr != target && n.members[addr].status == Alive {
 			candidates = append(candidates, addr)
 		}
 	}
-	node.SortAddrs(candidates)
-	n.rng.Shuffle(len(candidates), func(i, j int) { candidates[i], candidates[j] = candidates[j], candidates[i] })
 	if len(candidates) > k {
+		for i := 0; i < k; i++ {
+			j := i + n.rng.Intn(len(candidates)-i)
+			candidates[i], candidates[j] = candidates[j], candidates[i]
+		}
 		candidates = candidates[:k]
+	} else {
+		n.rng.Shuffle(len(candidates), func(i, j int) { candidates[i], candidates[j] = candidates[j], candidates[i] })
 	}
 	return candidates
 }
@@ -413,11 +518,13 @@ func (n *Node) pushPullWith(target node.Addr) {
 func (n *Node) snapshot() []Update {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	out := make([]Update, 0, len(n.members))
-	for _, m := range n.members {
+	// order is kept sorted incrementally, so a push-pull snapshot is one
+	// linear walk (this runs for every push-pull exchange fleet-wide).
+	out := make([]Update, 0, len(n.order))
+	for _, addr := range n.order {
+		m := n.members[addr]
 		out = append(out, Update{Addr: m.addr, Status: m.status, Incarnation: m.incarnation})
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
 	return out
 }
 
@@ -452,7 +559,7 @@ func (n *Node) applyLocked(u Update) {
 		n.incarnation = maxUint64(n.incarnation, u.Incarnation) + 1
 		if self, ok := n.members[n.addr]; ok {
 			self.incarnation = n.incarnation
-			self.status = Alive
+			n.setStatusLocked(self, Alive)
 			self.since = now
 		}
 		n.enqueueLocked(Update{Addr: n.addr, Status: Alive, Incarnation: n.incarnation})
@@ -463,7 +570,7 @@ func (n *Node) applyLocked(u Update) {
 		if u.Status == Dead {
 			return // Do not resurrect bookkeeping for unknown dead members.
 		}
-		n.members[u.Addr] = &memberState{addr: u.Addr, status: u.Status, incarnation: u.Incarnation, since: now}
+		n.addMemberLocked(&memberState{addr: u.Addr, status: u.Status, incarnation: u.Incarnation, since: now})
 		n.enqueueLocked(u)
 		return
 	}
@@ -471,12 +578,12 @@ func (n *Node) applyLocked(u Update) {
 	switch {
 	case u.Incarnation > m.incarnation:
 		changed = m.status != u.Status || m.incarnation != u.Incarnation
-		m.status = u.Status
+		n.setStatusLocked(m, u.Status)
 		m.incarnation = u.Incarnation
 	case u.Incarnation == m.incarnation:
 		// Same incarnation: suspect overrides alive, dead overrides both.
 		if u.Status > m.status {
-			m.status = u.Status
+			n.setStatusLocked(m, u.Status)
 			changed = true
 		}
 	default:

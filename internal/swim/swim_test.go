@@ -237,3 +237,110 @@ func TestEnqueueReplacesSameMember(t *testing.T) {
 		t.Fatalf("queue should hold one (latest) update per member: len=%d status=%v", qlen, status)
 	}
 }
+
+// checkIndexes recomputes every derived index from the member table and
+// compares it against the incrementally maintained state. The indexes are
+// what NumAlive, probe-target selection and push-pull snapshots read, so any
+// drift silently corrupts protocol behavior rather than crashing.
+func checkIndexes(t *testing.T, n *Node, context string) {
+	t.Helper()
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	var wantAlive, wantUnstable int
+	var wantOrder, wantProbe []node.Addr
+	for addr, m := range n.members {
+		wantOrder = append(wantOrder, addr)
+		if countsAlive(m.status) {
+			wantAlive++
+		}
+		if m.status != Alive {
+			wantUnstable++
+		}
+		if addr != n.addr && m.status != Dead {
+			wantProbe = append(wantProbe, addr)
+		}
+	}
+	node.SortAddrs(wantOrder)
+	node.SortAddrs(wantProbe)
+	if got := int(n.alive.Load()); got != wantAlive {
+		t.Errorf("%s: alive counter %d, member table says %d", context, got, wantAlive)
+	}
+	if n.unstable != wantUnstable {
+		t.Errorf("%s: unstable counter %d, member table says %d", context, n.unstable, wantUnstable)
+	}
+	if !addrsEqual(n.order, wantOrder) {
+		t.Errorf("%s: order index %v, member table says %v", context, n.order, wantOrder)
+	}
+	if !addrsEqual(n.probeOrder, wantProbe) {
+		t.Errorf("%s: probeOrder index %v, member table says %v", context, n.probeOrder, wantProbe)
+	}
+}
+
+func addrsEqual(a, b []node.Addr) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestDerivedIndexesStayExact drives one node through every membership
+// transition — insert, suspect, dead override, incarnation revival, self
+// refutation, suspicion expiry and dead reaping — verifying after each step
+// that the incremental indexes match a full recomputation.
+func TestDerivedIndexesStayExact(t *testing.T) {
+	net := simnet.New(simnet.Options{Seed: 7})
+	nd, err := Start(addr(0), nil, testOptions(), net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nd.Stop()
+	checkIndexes(t, nd, "fresh node")
+
+	peers := []node.Addr{addr(1), addr(2), addr(3)}
+	var steps []Update
+	for _, p := range peers {
+		steps = append(steps, Update{Addr: p, Status: Alive, Incarnation: 1})
+	}
+	steps = append(steps,
+		Update{Addr: addr(1), Status: Suspect, Incarnation: 1}, // suspect overrides alive
+		Update{Addr: addr(1), Status: Dead, Incarnation: 1},    // dead overrides suspect
+		Update{Addr: addr(1), Status: Alive, Incarnation: 2},   // higher incarnation revives
+		Update{Addr: addr(2), Status: Dead, Incarnation: 1},    // straight to dead
+		Update{Addr: addr(4), Status: Dead, Incarnation: 1},    // unknown dead: ignored
+		Update{Addr: addr(0), Status: Suspect, Incarnation: 0}, // self refutation
+		Update{Addr: addr(3), Status: Alive, Incarnation: 0},   // stale: ignored
+	)
+	for _, u := range steps {
+		nd.absorbUpdates([]Update{u})
+		checkIndexes(t, nd, fmt.Sprintf("after %s->%s inc=%d", u.Addr, u.Status, u.Incarnation))
+	}
+	if got := nd.NumAlive(); got != 3 { // self + revived addr(1) + addr(3)
+		t.Fatalf("NumAlive = %d, want 3", got)
+	}
+
+	// Suspicion expiry and dead reaping run off the clock; force both by
+	// backdating the states reapLoop inspects.
+	nd.absorbUpdates([]Update{{Addr: addr(3), Status: Suspect, Incarnation: 1}})
+	past := nd.clock.Now().Add(-24 * time.Hour)
+	nd.mu.Lock()
+	nd.members[addr(3)].since = past // Suspect -> Dead on the next reap tick
+	nd.members[addr(2)].since = past // Dead -> reaped on the next reap tick
+	nd.mu.Unlock()
+	if !waitUntil(t, 30*time.Second, func() bool {
+		nd.mu.Lock()
+		defer nd.mu.Unlock()
+		_, reaped := nd.members[addr(2)]
+		return !reaped && nd.members[addr(3)].status == Dead
+	}) {
+		t.Fatal("reap loop did not expire the backdated members")
+	}
+	checkIndexes(t, nd, "after reaping")
+	if got := nd.NumAlive(); got != 2 { // self + addr(1)
+		t.Fatalf("NumAlive after reaping = %d, want 2", got)
+	}
+}
