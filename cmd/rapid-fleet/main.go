@@ -1,0 +1,146 @@
+// Command rapid-fleet runs a real-process Rapid fleet on 127.0.0.1: it
+// builds (or is given) a rapid-node binary, spawns N OS processes over the
+// pooled TCP transport, waits for them to agree on one configuration, kills
+// members and joins replacements, and reports the transport's dial/request
+// counters — the proof that connection pooling works is dials sitting far
+// below requests (the run fails if requests < 10x dials).
+//
+// Example (50 processes, one kill-and-rejoin round):
+//
+//	rapid-fleet -n 50
+//	rapid-fleet -n 100 -kill 3 -probe-interval 500ms -keep-logs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/procfleet"
+)
+
+type config struct {
+	n        int
+	bin      string
+	kills    int
+	probe    time.Duration
+	timeout  time.Duration
+	settle   time.Duration
+	logDir   string
+	keepLogs bool
+	minReuse float64
+}
+
+func main() {
+	var cfg config
+	flag.IntVar(&cfg.n, "n", 50, "number of rapid-node processes")
+	flag.StringVar(&cfg.bin, "bin", "", "path to a rapid-node binary (empty = go build ./cmd/rapid-node)")
+	flag.IntVar(&cfg.kills, "kill", 1, "kill-and-rejoin rounds to run after bootstrap")
+	flag.DurationVar(&cfg.probe, "probe-interval", time.Second, "per-node edge failure detector probe interval")
+	flag.DurationVar(&cfg.timeout, "converge-timeout", 3*time.Minute, "per-phase agreement timeout")
+	flag.DurationVar(&cfg.settle, "settle", 30*time.Second, "steady-state traffic window before reading final stats")
+	flag.StringVar(&cfg.logDir, "log-dir", "", "directory for per-node logs (empty = temp dir)")
+	flag.BoolVar(&cfg.keepLogs, "keep-logs", false, "keep per-node logs after a successful run")
+	flag.Float64Var(&cfg.minReuse, "min-reuse", 10, "fail unless requests >= this multiple of dials")
+	flag.Parse()
+	log.SetFlags(log.Ltime | log.Lmicroseconds)
+
+	// All failures funnel through run so that the fleet is always stopped:
+	// log.Fatalf here would leak N orphaned rapid-node processes.
+	if err := run(cfg); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(cfg config) error {
+	// Declared before the fleet exists so it runs after fleet.Stop() below.
+	var cleanupDir string
+	defer func() {
+		if cleanupDir != "" {
+			os.RemoveAll(cleanupDir)
+		}
+	}()
+
+	binPath := cfg.bin
+	if binPath == "" {
+		dir, err := os.MkdirTemp("", "rapid-fleet-bin-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		log.Printf("building rapid-node...")
+		binPath, err = procfleet.BuildNodeBinary(dir)
+		if err != nil {
+			return err
+		}
+	}
+
+	fleet, err := procfleet.Launch(procfleet.Options{
+		N:             cfg.n,
+		Bin:           binPath,
+		LogDir:        cfg.logDir,
+		ProbeInterval: cfg.probe,
+		Logf:          log.Printf,
+	})
+	if err != nil {
+		return fmt.Errorf("launch: %w", err)
+	}
+	defer fleet.Stop()
+	log.Printf("logs in %s", fleet.LogDir())
+
+	configID, took, err := fleet.WaitForAgreement(cfg.n, cfg.timeout)
+	if err != nil {
+		return fmt.Errorf("bootstrap: %w", err)
+	}
+	log.Printf("bootstrap: %d processes agreed on configuration %s in %v", cfg.n, configID, took)
+	if st, err := fleet.AggregateStats(); err == nil {
+		report("after bootstrap", st)
+	}
+
+	for round := 1; round <= cfg.kills; round++ {
+		procs := fleet.Alive()
+		victim := procs[len(procs)-1]
+		if err := fleet.Kill(victim); err != nil {
+			return fmt.Errorf("round %d kill: %w", round, err)
+		}
+		if _, took, err = fleet.WaitForAgreement(cfg.n-1, cfg.timeout); err != nil {
+			return fmt.Errorf("round %d: survivors never agreed: %w", round, err)
+		}
+		log.Printf("round %d: crash of %s detected and removed in %v", round, victim.Addr, took)
+		if _, err := fleet.AddNode(); err != nil {
+			return fmt.Errorf("round %d rejoin: %w", round, err)
+		}
+		if _, took, err = fleet.WaitForAgreement(cfg.n, cfg.timeout); err != nil {
+			return fmt.Errorf("round %d: fleet never recovered to %d: %w", round, cfg.n, err)
+		}
+		log.Printf("round %d: rejoined to %d processes in %v", round, cfg.n, took)
+	}
+
+	log.Printf("letting steady-state traffic run for %v...", cfg.settle)
+	time.Sleep(cfg.settle)
+	stats, err := fleet.AggregateStats()
+	if err != nil {
+		return fmt.Errorf("stats: %w", err)
+	}
+	report("final", stats)
+
+	if ratio := stats.DialRatio(); ratio < cfg.minReuse {
+		return fmt.Errorf("FAIL: connection reuse ratio %.1fx below %.1fx (dials %d, requests %d)",
+			ratio, cfg.minReuse, stats.Transport.Dials, stats.Transport.Requests)
+	}
+	if !cfg.keepLogs && cfg.logDir == "" {
+		cleanupDir = fleet.LogDir()
+	}
+	fmt.Printf("PASS: %d processes, %d requests over %d dials (%.1fx reuse)\n",
+		cfg.n, stats.Transport.Requests, stats.Transport.Dials, stats.DialRatio())
+	return nil
+}
+
+func report(when string, st procfleet.FleetStats) {
+	t := st.Transport
+	log.Printf("%s: %d nodes, dials=%d dialErrors=%d requests=%d (%.1fx reuse) openConns=%d staleRetries=%d bestEffort queued=%d dropped=%d acceptErrors=%d",
+		when, st.Nodes, t.Dials, t.DialErrors, t.Requests, st.DialRatio(), t.OpenConns,
+		t.StaleRetries, t.BestEffortQueued, t.BestEffortDropped, t.AcceptErrors)
+}

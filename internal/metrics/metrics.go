@@ -42,6 +42,10 @@ type Gauge struct {
 // Set replaces the gauge's value.
 func (g *Gauge) Set(v int64) { g.v.Store(v) }
 
+// Add moves the gauge by delta atomically (e.g. open-connection counts that
+// rise on dial and fall on close).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
 // Value returns the last value set.
 func (g *Gauge) Value() int64 { return g.v.Load() }
 

@@ -5,6 +5,8 @@
 package node
 
 import (
+	crand "crypto/rand"
+	"encoding/binary"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -63,6 +65,21 @@ func SeedIDGenerator(seed int64) {
 	idMu.Lock()
 	defer idMu.Unlock()
 	idRand = rand.New(rand.NewSource(seed))
+}
+
+// SeedIDGeneratorFromEntropy reseeds the process-wide ID generator from the
+// operating system's entropy source. Real deployments (cmd/rapid-node) must
+// call this before joining: the library default is a fixed seed so that
+// simulations are reproducible, which means two separate OS processes would
+// otherwise draw the same identifier sequence and collide at the pre-join
+// UUID check forever.
+func SeedIDGeneratorFromEntropy() error {
+	var b [8]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		return fmt.Errorf("node: reading entropy for ID generator: %w", err)
+	}
+	SeedIDGenerator(int64(binary.BigEndian.Uint64(b[:])))
+	return nil
 }
 
 // NewID returns a fresh pseudo-random logical identifier.

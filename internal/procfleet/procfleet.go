@@ -1,0 +1,450 @@
+// Package procfleet boots real-process rapid-node fleets on 127.0.0.1: it
+// builds or is handed a rapid-node binary, spawns N OS processes wired
+// together over the TCP transport, polls each agent's --status-addr HTTP
+// endpoint until the whole fleet agrees on one configuration, and can kill
+// members and join replacements to exercise failure recovery end to end.
+//
+// This is the real-network counterpart of package harness (which runs whole
+// fleets inside one process on simnet): every message here crosses an actual
+// socket, so the fleet doubles as the proof that tcpnet's pooled, pipelined
+// connections behave — AggregateStats sums every process' dial and request
+// counters, and a healthy fleet shows dials orders of magnitude below
+// requests. cmd/rapid-fleet is the CLI veneer; the loopback-fleet CI smoke
+// drives a bounded fleet through bootstrap, kill and rejoin.
+package procfleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro/internal/tcpnet"
+)
+
+// Options configure a loopback fleet.
+type Options struct {
+	// N is the number of rapid-node processes. Required.
+	N int
+	// Bin is the path to a built rapid-node binary. Required; use
+	// BuildNodeBinary to produce one.
+	Bin string
+	// LogDir receives one node-<i>.log per process (stdout+stderr).
+	// Defaults to a fresh temp dir.
+	LogDir string
+	// ProbeInterval is passed through to rapid-node -probe-interval.
+	// Defaults to 1s.
+	ProbeInterval time.Duration
+	// IdleTimeout is passed through to rapid-node -idle-timeout (0 keeps the
+	// transport default).
+	IdleTimeout time.Duration
+	// Seeds is how many seed addresses joiners are given. Defaults to 3.
+	Seeds int
+	// Stagger is the delay between process launches during the join storm.
+	// Defaults to 10ms.
+	Stagger time.Duration
+	// StartTimeout bounds waiting for the bootstrap node to come up.
+	// Defaults to 30s.
+	StartTimeout time.Duration
+	// Logf, when non-nil, receives progress lines.
+	Logf func(format string, args ...any)
+}
+
+func (o *Options) validate() error {
+	if o.N <= 0 {
+		return fmt.Errorf("procfleet: N must be positive, got %d", o.N)
+	}
+	if o.Bin == "" {
+		return fmt.Errorf("procfleet: Bin is required (see BuildNodeBinary)")
+	}
+	if o.ProbeInterval == 0 {
+		o.ProbeInterval = time.Second
+	}
+	if o.Seeds <= 0 {
+		o.Seeds = 3
+	}
+	if o.Stagger == 0 {
+		o.Stagger = 10 * time.Millisecond
+	}
+	if o.StartTimeout == 0 {
+		o.StartTimeout = 30 * time.Second
+	}
+	if o.LogDir == "" {
+		dir, err := os.MkdirTemp("", "rapid-fleet-*")
+		if err != nil {
+			return err
+		}
+		o.LogDir = dir
+	}
+	return nil
+}
+
+// NodeStatus mirrors the JSON served by rapid-node --status-addr.
+type NodeStatus struct {
+	Addr            string       `json:"addr"`
+	State           string       `json:"state"`
+	ConfigurationID string       `json:"configuration_id"`
+	Size            int          `json:"size"`
+	Transport       tcpnet.Stats `json:"transport"`
+}
+
+// Proc is one spawned rapid-node process.
+type Proc struct {
+	Index      int
+	Addr       string // membership listen address
+	StatusAddr string // HTTP status address
+	cmd        *exec.Cmd
+	logFile    *os.File
+	exited     chan struct{} // closed once the process has been reaped
+	alive      bool
+}
+
+// Fleet is a set of rapid-node processes on loopback.
+type Fleet struct {
+	opts   Options
+	client *http.Client
+
+	mu    sync.Mutex
+	procs []*Proc
+	next  int // next node index (for log names after rejoins)
+}
+
+// BuildNodeBinary compiles cmd/rapid-node into dir and returns the binary
+// path. It locates the module root via `go env GOMOD`, so it works from any
+// test's working directory.
+func BuildNodeBinary(dir string) (string, error) {
+	gomod, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		return "", fmt.Errorf("go env GOMOD: %w", err)
+	}
+	root := filepath.Dir(strings.TrimSpace(string(gomod)))
+	if root == "." || root == "/" {
+		return "", fmt.Errorf("cannot locate module root from GOMOD %q", gomod)
+	}
+	bin := filepath.Join(dir, "rapid-node")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/rapid-node")
+	build.Dir = root
+	if out, err := build.CombinedOutput(); err != nil {
+		return "", fmt.Errorf("building rapid-node: %w\n%s", err, out)
+	}
+	return bin, nil
+}
+
+// freePorts reserves n distinct loopback ports by binding them all before
+// releasing any, so no port is handed out twice.
+func freePorts(n int) ([]int, error) {
+	listeners := make([]net.Listener, 0, n)
+	defer func() {
+		for _, ln := range listeners {
+			ln.Close()
+		}
+	}()
+	ports := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		listeners = append(listeners, ln)
+		ports = append(ports, ln.Addr().(*net.TCPAddr).Port)
+	}
+	return ports, nil
+}
+
+// Launch starts the fleet: node 0 bootstraps, the rest join through the
+// first Options.Seeds members in a staggered storm. It returns as soon as
+// every process is spawned; call WaitForAgreement to block until the fleet
+// converges.
+func Launch(opts Options) (*Fleet, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	f := &Fleet{
+		opts:   opts,
+		client: &http.Client{Timeout: 2 * time.Second},
+	}
+
+	ports, err := freePorts(2 * opts.N)
+	if err != nil {
+		return nil, err
+	}
+	addrs := make([]string, opts.N)
+	statusAddrs := make([]string, opts.N)
+	for i := 0; i < opts.N; i++ {
+		addrs[i] = fmt.Sprintf("127.0.0.1:%d", ports[2*i])
+		statusAddrs[i] = fmt.Sprintf("127.0.0.1:%d", ports[2*i+1])
+	}
+
+	// Bootstrap node first; joiners need a live seed.
+	if _, err := f.spawn(addrs[0], statusAddrs[0], nil); err != nil {
+		f.Stop()
+		return nil, err
+	}
+	if err := f.waitRunning(f.procs[0], opts.StartTimeout); err != nil {
+		f.Stop()
+		return nil, fmt.Errorf("bootstrap node never came up: %w", err)
+	}
+	f.logf("bootstrap node %s up, launching %d joiners", addrs[0], opts.N-1)
+
+	seeds := addrs[:min(opts.Seeds, opts.N)]
+	for i := 1; i < opts.N; i++ {
+		if _, err := f.spawn(addrs[i], statusAddrs[i], seeds); err != nil {
+			f.Stop()
+			return nil, err
+		}
+		time.Sleep(opts.Stagger)
+	}
+	return f, nil
+}
+
+// spawn starts one rapid-node process. seeds == nil bootstraps.
+func (f *Fleet) spawn(addr, statusAddr string, seeds []string) (*Proc, error) {
+	f.mu.Lock()
+	idx := f.next
+	f.next++
+	f.mu.Unlock()
+
+	args := []string{
+		"-listen", addr,
+		"-status-addr", statusAddr,
+		"-probe-interval", f.opts.ProbeInterval.String(),
+	}
+	if f.opts.IdleTimeout > 0 {
+		args = append(args, "-idle-timeout", f.opts.IdleTimeout.String())
+	}
+	if len(seeds) > 0 {
+		args = append(args, "-join", strings.Join(seeds, ","))
+	}
+	logFile, err := os.Create(filepath.Join(f.opts.LogDir, fmt.Sprintf("node-%d.log", idx)))
+	if err != nil {
+		return nil, err
+	}
+	cmd := exec.Command(f.opts.Bin, args...)
+	cmd.Stdout = logFile
+	cmd.Stderr = logFile
+	if err := cmd.Start(); err != nil {
+		logFile.Close()
+		return nil, fmt.Errorf("spawning node %d: %w", idx, err)
+	}
+	p := &Proc{Index: idx, Addr: addr, StatusAddr: statusAddr, cmd: cmd, logFile: logFile,
+		exited: make(chan struct{}), alive: true}
+	go func() {
+		cmd.Wait()
+		close(p.exited)
+	}()
+	f.mu.Lock()
+	f.procs = append(f.procs, p)
+	f.mu.Unlock()
+	return p, nil
+}
+
+// Status fetches one process' status document.
+func (f *Fleet) Status(p *Proc) (NodeStatus, error) {
+	var st NodeStatus
+	resp, err := f.client.Get("http://" + p.StatusAddr + "/status")
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return st, fmt.Errorf("status %s: HTTP %d", p.StatusAddr, resp.StatusCode)
+	}
+	return st, json.NewDecoder(resp.Body).Decode(&st)
+}
+
+func (f *Fleet) waitRunning(p *Proc, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	var lastErr error
+	for time.Now().Before(deadline) {
+		st, err := f.Status(p)
+		if err == nil && st.State == "running" {
+			return nil
+		}
+		lastErr = err
+		time.Sleep(50 * time.Millisecond)
+	}
+	return fmt.Errorf("node %d not running within %v (last error: %v)", p.Index, timeout, lastErr)
+}
+
+// Alive returns the currently live processes.
+func (f *Fleet) Alive() []*Proc {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]*Proc, 0, len(f.procs))
+	for _, p := range f.procs {
+		if p.alive {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// WaitForAgreement blocks until every live process reports state "running",
+// size expect, and the same configuration ID. It returns the agreed
+// configuration ID and how long agreement took.
+func (f *Fleet) WaitForAgreement(expect int, timeout time.Duration) (string, time.Duration, error) {
+	start := time.Now()
+	deadline := start.Add(timeout)
+	var lastState string
+	for time.Now().Before(deadline) {
+		configID, ok := f.agreement(expect, &lastState)
+		if ok {
+			return configID, time.Since(start), nil
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	return "", time.Since(start), fmt.Errorf("no agreement on size %d within %v (last: %s)", expect, timeout, lastState)
+}
+
+func (f *Fleet) agreement(expect int, lastState *string) (string, bool) {
+	procs := f.Alive()
+	if len(procs) != expect {
+		*lastState = fmt.Sprintf("%d live processes, want %d", len(procs), expect)
+		return "", false
+	}
+	configID := ""
+	for _, p := range procs {
+		st, err := f.Status(p)
+		if err != nil {
+			*lastState = fmt.Sprintf("node %d unreachable: %v", p.Index, err)
+			return "", false
+		}
+		if st.State != "running" {
+			*lastState = fmt.Sprintf("node %d state %q", p.Index, st.State)
+			return "", false
+		}
+		if st.Size != expect {
+			*lastState = fmt.Sprintf("node %d reports size %d, want %d", p.Index, st.Size, expect)
+			return "", false
+		}
+		if configID == "" {
+			configID = st.ConfigurationID
+		} else if st.ConfigurationID != configID {
+			*lastState = fmt.Sprintf("split configurations: %s vs %s", configID, st.ConfigurationID)
+			return "", false
+		}
+	}
+	return configID, true
+}
+
+// Kill SIGKILLs one process (crash, not graceful leave) so the survivors
+// must detect the failure through their edge monitors.
+func (f *Fleet) Kill(p *Proc) error {
+	f.mu.Lock()
+	p.alive = false
+	f.mu.Unlock()
+	if err := p.cmd.Process.Kill(); err != nil {
+		return err
+	}
+	<-p.exited
+	f.logf("killed node %d (%s)", p.Index, p.Addr)
+	return nil
+}
+
+// AddNode joins one fresh process through the surviving seeds and returns
+// it. The caller waits for agreement separately.
+func (f *Fleet) AddNode() (*Proc, error) {
+	alive := f.Alive()
+	if len(alive) == 0 {
+		return nil, fmt.Errorf("procfleet: no live seeds to join through")
+	}
+	seeds := make([]string, 0, f.opts.Seeds)
+	for _, p := range alive {
+		seeds = append(seeds, p.Addr)
+		if len(seeds) == f.opts.Seeds {
+			break
+		}
+	}
+	ports, err := freePorts(2)
+	if err != nil {
+		return nil, err
+	}
+	addr := fmt.Sprintf("127.0.0.1:%d", ports[0])
+	statusAddr := fmt.Sprintf("127.0.0.1:%d", ports[1])
+	p, err := f.spawn(addr, statusAddr, seeds)
+	if err != nil {
+		return nil, err
+	}
+	f.logf("rejoin node %d (%s) via %v", p.Index, addr, seeds)
+	return p, nil
+}
+
+// FleetStats aggregates every live process' transport counters. DialRatio is
+// the headline pooling number: requests per dial.
+type FleetStats struct {
+	Nodes     int
+	Transport tcpnet.Stats
+}
+
+// DialRatio returns requests per dial (0 when no dials happened).
+func (s FleetStats) DialRatio() float64 {
+	if s.Transport.Dials == 0 {
+		return 0
+	}
+	return float64(s.Transport.Requests) / float64(s.Transport.Dials)
+}
+
+// AggregateStats sums transport counters across live processes.
+func (f *Fleet) AggregateStats() (FleetStats, error) {
+	out := FleetStats{}
+	for _, p := range f.Alive() {
+		st, err := f.Status(p)
+		if err != nil {
+			return out, fmt.Errorf("node %d: %w", p.Index, err)
+		}
+		out.Nodes++
+		t := &out.Transport
+		t.Dials += st.Transport.Dials
+		t.DialErrors += st.Transport.DialErrors
+		t.Requests += st.Transport.Requests
+		t.StaleRetries += st.Transport.StaleRetries
+		t.OpenConns += st.Transport.OpenConns
+		t.BestEffortQueued += st.Transport.BestEffortQueued
+		t.BestEffortDropped += st.Transport.BestEffortDropped
+		t.AcceptedConns += st.Transport.AcceptedConns
+		t.AcceptErrors += st.Transport.AcceptErrors
+	}
+	return out, nil
+}
+
+// Stop terminates every process (SIGTERM, then SIGKILL after a grace
+// period) and closes the log files.
+func (f *Fleet) Stop() {
+	f.mu.Lock()
+	procs := append([]*Proc(nil), f.procs...)
+	f.mu.Unlock()
+
+	for _, p := range procs {
+		if p.alive {
+			p.cmd.Process.Signal(syscall.SIGTERM)
+		}
+	}
+	grace := time.After(10 * time.Second)
+	for _, p := range procs {
+		select {
+		case <-p.exited:
+		case <-grace:
+			p.cmd.Process.Kill()
+			<-p.exited
+		}
+	}
+	for _, p := range procs {
+		p.logFile.Close()
+	}
+}
+
+// LogDir returns where per-node logs were written.
+func (f *Fleet) LogDir() string { return f.opts.LogDir }
+
+func (f *Fleet) logf(format string, args ...any) {
+	if f.opts.Logf != nil {
+		f.opts.Logf(format, args...)
+	}
+}

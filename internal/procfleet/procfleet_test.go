@@ -1,0 +1,92 @@
+package procfleet
+
+import (
+	"testing"
+	"time"
+)
+
+// TestLoopbackFleetSmoke is the CI loopback-fleet smoke: a bounded fleet of
+// real rapid-node processes bootstraps on 127.0.0.1, agrees on one
+// configuration, survives a SIGKILL and a rejoin, and demonstrates that the
+// pooled transport collapses connections (requests at least 10x dials).
+// Like the paper-scale simnet smokes it runs only in -short mode, so its
+// dedicated CI step is its single execution per job.
+func TestLoopbackFleetSmoke(t *testing.T) {
+	if !testing.Short() {
+		t.Skip("loopback fleet smoke runs in -short mode (dedicated CI step)")
+	}
+	if raceEnabled {
+		t.Skip("fleet processes are built without -race; the race lane covers tcpnet directly")
+	}
+
+	bin, err := BuildNodeBinary(t.TempDir())
+	if err != nil {
+		t.Fatalf("BuildNodeBinary: %v", err)
+	}
+	const n = 10
+	fleet, err := Launch(Options{
+		N:             n,
+		Bin:           bin,
+		LogDir:        t.TempDir(),
+		ProbeInterval: 300 * time.Millisecond,
+		Logf:          t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("Launch: %v", err)
+	}
+	defer fleet.Stop()
+
+	configID, took, err := fleet.WaitForAgreement(n, 60*time.Second)
+	if err != nil {
+		t.Fatalf("bootstrap: %v", err)
+	}
+	t.Logf("bootstrap: %d processes agreed on configuration %s in %v", n, configID, took)
+
+	// Crash a non-seed member; survivors must converge on n-1.
+	procs := fleet.Alive()
+	victim := procs[len(procs)-1]
+	if err := fleet.Kill(victim); err != nil {
+		t.Fatalf("Kill: %v", err)
+	}
+	downID, took, err := fleet.WaitForAgreement(n-1, 60*time.Second)
+	if err != nil {
+		t.Fatalf("kill detection: %v", err)
+	}
+	if downID == configID {
+		t.Fatal("configuration ID did not change after a member was removed")
+	}
+	t.Logf("kill: %d survivors agreed on configuration %s in %v", n-1, downID, took)
+
+	// Rejoin a fresh process; the fleet must return to full strength.
+	if _, err := fleet.AddNode(); err != nil {
+		t.Fatalf("AddNode: %v", err)
+	}
+	upID, took, err := fleet.WaitForAgreement(n, 60*time.Second)
+	if err != nil {
+		t.Fatalf("rejoin: %v", err)
+	}
+	t.Logf("rejoin: back to %d processes on configuration %s in %v", n, upID, took)
+
+	stats, err := fleet.AggregateStats()
+	if err != nil {
+		t.Fatalf("AggregateStats: %v", err)
+	}
+	tr := stats.Transport
+	t.Logf("transport: %d requests over %d dials (ratio %.1fx), %d open conns, %d dial errors, %d best-effort dropped, %d accept errors",
+		tr.Requests, tr.Dials, stats.DialRatio(), tr.OpenConns, tr.DialErrors, tr.BestEffortDropped, tr.AcceptErrors)
+	if tr.Dials == 0 {
+		t.Fatal("no dials recorded: status plumbing is broken")
+	}
+	if tr.Requests < 10*tr.Dials {
+		t.Fatalf("pooling not effective: %d requests over %d dials (< 10x reuse)", tr.Requests, tr.Dials)
+	}
+}
+
+func TestLaunchValidation(t *testing.T) {
+	if _, err := Launch(Options{N: 0, Bin: "x"}); err == nil {
+		t.Fatal("Launch accepted N=0")
+	}
+	if _, err := Launch(Options{N: 3}); err == nil {
+		t.Fatal("Launch accepted empty Bin")
+	}
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package procfleet
+
+const raceEnabled = false

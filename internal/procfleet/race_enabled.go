@@ -1,0 +1,9 @@
+//go:build race
+
+package procfleet
+
+// raceEnabled reports whether the race detector is compiled in. The loopback
+// fleet smoke spawns real rapid-node processes (built without -race) and
+// measures wall-clock convergence; the instrumented lane skips it — the
+// tcpnet package tests cover the transport's concurrency under -race.
+const raceEnabled = true

@@ -1,0 +1,284 @@
+package tcpnet
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"repro/internal/node"
+
+	"net"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// flakyListener wraps a real listener and fails the first failures Accept
+// calls with err, counting every Accept attempt. Injected through the
+// Options.Listen hook to regression-test the accept loop's backoff.
+type flakyListener struct {
+	net.Listener
+	err      error
+	failures int32 // remaining failures; -1 = fail forever
+	attempts atomic.Int32
+}
+
+func (l *flakyListener) Accept() (net.Conn, error) {
+	l.attempts.Add(1)
+	for {
+		n := atomic.LoadInt32(&l.failures)
+		if n == 0 {
+			return l.Listener.Accept()
+		}
+		if n < 0 || atomic.CompareAndSwapInt32(&l.failures, n, n-1) {
+			return nil, l.err
+		}
+	}
+}
+
+// temporaryErr mimics an accept-queue errno like EMFILE.
+var errFDExhausted = fmt.Errorf("accept: %w", syscall.EMFILE)
+
+// TestAcceptLoopBacksOffOnTemporaryErrors is the busy-spin regression test:
+// under a persistent EMFILE-style failure the accept loop must retry with
+// backoff (a handful of attempts over 300ms, not tens of thousands), and
+// must recover once descriptors free up.
+func TestAcceptLoopBacksOffOnTemporaryErrors(t *testing.T) {
+	var fl *flakyListener
+	n := newTestNet(t, Options{
+		Listen: func(network, address string) (net.Listener, error) {
+			ln, err := net.Listen(network, address)
+			if err != nil {
+				return nil, err
+			}
+			fl = &flakyListener{Listener: ln, err: errFDExhausted, failures: -1}
+			return fl, nil
+		},
+	})
+	h := &countingHandler{}
+	addr := registerTestListener(t, n, h)
+
+	time.Sleep(300 * time.Millisecond)
+	attempts := fl.attempts.Load()
+	// Exponential backoff from 5ms reaches ~80ms windows within 300ms; a
+	// busy-spinning loop records millions of attempts here. Allow generous
+	// slack for slow runners.
+	if attempts > 40 {
+		t.Fatalf("accept loop retried %d times in 300ms: not backing off", attempts)
+	}
+	if n.Stats().AcceptErrors != int64(attempts) {
+		t.Fatalf("AcceptErrors = %d, want %d", n.Stats().AcceptErrors, attempts)
+	}
+
+	// Recovery: stop failing and the listener must serve again.
+	atomic.StoreInt32(&fl.failures, 0)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := n.Client("c").Send(ctx, addr, probeReq()); err != nil {
+		t.Fatalf("Send after accept recovery: %v", err)
+	}
+}
+
+// TestAcceptLoopExitsOnPermanentError: a non-temporary Accept failure must
+// stop the loop cleanly (no spin), and Deregister must still return.
+func TestAcceptLoopExitsOnPermanentError(t *testing.T) {
+	var fl *flakyListener
+	n := newTestNet(t, Options{
+		Listen: func(network, address string) (net.Listener, error) {
+			ln, err := net.Listen(network, address)
+			if err != nil {
+				return nil, err
+			}
+			fl = &flakyListener{Listener: ln, err: errors.New("permanent accept failure"), failures: -1}
+			return fl, nil
+		},
+	})
+	if err := n.Register("127.0.0.1:0", &countingHandler{}); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	time.Sleep(100 * time.Millisecond)
+	if got := fl.attempts.Load(); got != 1 {
+		t.Fatalf("accept loop made %d attempts after a permanent error, want 1 (clean exit)", got)
+	}
+	done := make(chan struct{})
+	go func() {
+		n.Deregister("127.0.0.1:0")
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Deregister hung after permanent accept failure")
+	}
+}
+
+// --- framing attacks against a live listener ---------------------------------
+
+// rawDial opens a plain TCP connection to a registered listener.
+func rawDial(t *testing.T, addr string) net.Conn {
+	t.Helper()
+	conn, err := net.DialTimeout("tcp", addr, time.Second)
+	if err != nil {
+		t.Fatalf("raw dial: %v", err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return conn
+}
+
+// assertServerAlive sends one well-formed request and expects a response.
+func assertServerAlive(t *testing.T, n *Network, addr string) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := n.Client("probe").Send(ctx, node.Addr(addr), probeReq()); err != nil {
+		t.Fatalf("listener no longer serving after hostile frame: %v", err)
+	}
+}
+
+func TestServerSurvivesMalformedFrames(t *testing.T) {
+	n := newTestNet(t, Options{IdleTimeout: 2 * time.Second})
+	h := &countingHandler{}
+	addr := string(registerTestListener(t, n, h))
+
+	t.Run("garbage payload", func(t *testing.T) {
+		conn := rawDial(t, addr)
+		// Valid header, payload that is not a remoting.Request.
+		payload := []byte{0xde, 0xad, 0xbe, 0xef}
+		if err := writeFrame(conn, 7, payload); err != nil {
+			t.Fatal(err)
+		}
+		// The server must close this connection (decode failure)...
+		conn.SetReadDeadline(time.Now().Add(3 * time.Second))
+		if _, err := conn.Read(make([]byte, 1)); err == nil {
+			t.Fatal("server answered a malformed request instead of closing")
+		}
+		// ...and keep serving everyone else.
+		assertServerAlive(t, n, addr)
+	})
+
+	t.Run("oversized length prefix", func(t *testing.T) {
+		conn := rawDial(t, addr)
+		var hdr [frameHeaderLen]byte
+		binary.BigEndian.PutUint32(hdr[0:4], maxFrame+1)
+		if _, err := conn.Write(hdr[:]); err != nil {
+			t.Fatal(err)
+		}
+		conn.SetReadDeadline(time.Now().Add(3 * time.Second))
+		if _, err := conn.Read(make([]byte, 1)); err == nil {
+			t.Fatal("server accepted an oversized frame")
+		}
+		assertServerAlive(t, n, addr)
+	})
+
+	t.Run("truncated prefix then hangup", func(t *testing.T) {
+		conn := rawDial(t, addr)
+		if _, err := conn.Write([]byte{0x00, 0x00}); err != nil {
+			t.Fatal(err)
+		}
+		conn.Close()
+		assertServerAlive(t, n, addr)
+	})
+
+	t.Run("truncated payload then hangup", func(t *testing.T) {
+		conn := rawDial(t, addr)
+		var hdr [frameHeaderLen]byte
+		binary.BigEndian.PutUint32(hdr[0:4], 100) // promise 100 bytes
+		if _, err := conn.Write(hdr[:]); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := conn.Write([]byte{1, 2, 3}); err != nil { // deliver 3
+			t.Fatal(err)
+		}
+		conn.Close()
+		assertServerAlive(t, n, addr)
+	})
+
+	if got := h.count(); got != 4 {
+		t.Fatalf("handler executed %d probes, want exactly the 4 liveness probes", got)
+	}
+}
+
+// TestCrossRestartSameAddress: Deregister then re-Register the same address
+// while clients keep sending. Pooled connections to the dead incarnation are
+// detected and replaced; run under -race this covers the pool's
+// close/redial/demux interleavings.
+func TestCrossRestartSameAddress(t *testing.T) {
+	n := newTestNet(t, Options{DialTimeout: 500 * time.Millisecond, RequestTimeout: time.Second})
+	h1 := &countingHandler{}
+	if err := n.Register("127.0.0.1:0", h1); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	bound, _ := n.ListenAddr("127.0.0.1:0")
+	addr := string(bound)
+
+	var senders sync.WaitGroup
+	stop := make(chan struct{})
+	var delivered atomic.Int64
+	for i := 0; i < 4; i++ {
+		senders.Add(1)
+		go func() {
+			defer senders.Done()
+			c := n.Client("c")
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+				if _, err := c.Send(ctx, node.Addr(addr), probeReq()); err == nil {
+					delivered.Add(1)
+				}
+				cancel()
+			}
+		}()
+	}
+
+	// Let traffic flow, restart the listener on the very same port, let
+	// traffic recover.
+	time.Sleep(100 * time.Millisecond)
+	n.Deregister("127.0.0.1:0")
+	before := delivered.Load()
+	if before == 0 {
+		t.Fatal("no requests delivered before restart")
+	}
+	h2 := &countingHandler{}
+	if err := n.Register(node.Addr(addr), h2); err != nil {
+		t.Fatalf("re-Register on %s: %v", addr, err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) && h2.count() == 0 {
+		time.Sleep(10 * time.Millisecond)
+	}
+	close(stop)
+	senders.Wait()
+	n.Deregister(node.Addr(addr))
+	if h2.count() == 0 {
+		t.Fatal("no request reached the restarted listener: pool did not recover from the dead incarnation")
+	}
+}
+
+// TestDeregisterClosesActiveConns: Deregister must not wait out the idle
+// timeout on open inbound connections.
+func TestDeregisterClosesActiveConns(t *testing.T) {
+	n := newTestNet(t, Options{IdleTimeout: 60 * time.Second})
+	h := &countingHandler{}
+	addr := registerTestListener(t, n, h)
+	if _, err := n.Client("c").Send(context.Background(), addr, probeReq()); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	// The pooled client connection is still open server-side; Deregister
+	// must return promptly anyway.
+	done := make(chan struct{})
+	go func() {
+		n.Deregister("127.0.0.1:0")
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Deregister blocked on an idle inbound connection")
+	}
+}

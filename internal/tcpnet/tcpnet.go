@@ -1,100 +1,243 @@
 // Package tcpnet is the real-network transport: requests and responses over
-// TCP, each framed by a 4-byte length prefix around the compact binary
-// encoding of package remoting. It is used by cmd/rapid-node to run a
+// TCP, framed by a length prefix and a per-request ID around the compact
+// binary encoding of package remoting. It is used by cmd/rapid-node to run a
 // membership agent as an ordinary process; the simulated network (package
 // simnet) is used everywhere else in tests and experiments.
+//
+// Unlike the seed transport (one dial, one request, one goroutine per
+// message), connections are pooled per destination and pipelined: concurrent
+// Sends to the same peer ride one TCP connection, a demux reader matches
+// responses to waiters by request ID, dial failures open a backoff window so
+// alert storms at a dead peer fail fast instead of piling up SYNs, and
+// best-effort sends flow through a bounded worker pool that sheds (and
+// counts) overflow instead of spawning a goroutine and an FD per message.
+// Stats exposes dial/request/drop counters so deployments can verify reuse
+// (dials should sit orders of magnitude below requests).
 package tcpnet
 
 import (
 	"context"
-	"encoding/binary"
-	"errors"
 	"fmt"
-	"io"
 	"net"
 	"sync"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/node"
 	"repro/internal/remoting"
 	"repro/internal/transport"
 )
 
-// maxFrame bounds a single message to protect against corrupted prefixes.
-const maxFrame = 16 << 20
-
-// Options configure the TCP network.
+// Options configure the TCP network. Zero values take defaults; negative
+// values (and an inverted backoff range) are configuration mistakes and are
+// rejected by New, mirroring core.Settings validation.
 type Options struct {
 	// DialTimeout bounds connection establishment. Defaults to 1s.
 	DialTimeout time.Duration
-	// RequestTimeout bounds a whole request/response exchange. Defaults to 3s.
+	// RequestTimeout bounds a whole request/response exchange when the
+	// caller's context carries no deadline, and bounds server-side handler
+	// execution and response writes. Defaults to 3s.
 	RequestTimeout time.Duration
+	// IdleTimeout is how long a pooled or inbound connection may sit with no
+	// traffic before it is closed (the client end closes slightly earlier
+	// than the server end so reuse rarely races a server-side close).
+	// Defaults to 60s.
+	IdleTimeout time.Duration
+	// ConnsPerPeer caps pooled connections per destination. Pipelining makes
+	// one connection sufficient for membership traffic; raise it only if a
+	// single stream becomes a throughput bottleneck. Defaults to 1.
+	ConnsPerPeer int
+	// MaxInFlightPerConn bounds concurrently executing handlers per inbound
+	// connection on the server side. Defaults to 256.
+	MaxInFlightPerConn int
+	// BestEffortWorkers is the size of the worker pool draining the
+	// best-effort send queue. Defaults to 4.
+	BestEffortWorkers int
+	// BestEffortQueue bounds the best-effort send queue; overflow is dropped
+	// and counted in Stats.BestEffortDropped. Defaults to 1024.
+	BestEffortQueue int
+	// DialBackoffBase is the first post-failure backoff window during which
+	// dials to a peer fail fast. It doubles per consecutive failure up to
+	// DialBackoffMax. Defaults: 50ms base, 2s max.
+	DialBackoffBase time.Duration
+	DialBackoffMax  time.Duration
+	// Dial, when non-nil, replaces the default dialer. A TLS deployment
+	// supplies a tls.Dialer's DialContext here.
+	Dial func(ctx context.Context, network, address string) (net.Conn, error)
+	// Listen, when non-nil, replaces net.Listen. A TLS deployment supplies
+	// tls.Listen here; tests inject failing listeners through it.
+	Listen func(network, address string) (net.Listener, error)
+}
+
+// validate rejects negative or inverted options and fills in defaults,
+// following the same convention as core.Settings: zero means "default",
+// nonsense is an error rather than a silent rewrite.
+func (o *Options) validate() error {
+	if o.DialTimeout < 0 || o.RequestTimeout < 0 || o.IdleTimeout < 0 ||
+		o.DialBackoffBase < 0 || o.DialBackoffMax < 0 {
+		return fmt.Errorf("tcpnet: negative timeout in options (dial=%v request=%v idle=%v backoff=%v/%v)",
+			o.DialTimeout, o.RequestTimeout, o.IdleTimeout, o.DialBackoffBase, o.DialBackoffMax)
+	}
+	if o.ConnsPerPeer < 0 || o.MaxInFlightPerConn < 0 || o.BestEffortWorkers < 0 || o.BestEffortQueue < 0 {
+		return fmt.Errorf("tcpnet: negative bound in options (conns=%d inflight=%d workers=%d queue=%d)",
+			o.ConnsPerPeer, o.MaxInFlightPerConn, o.BestEffortWorkers, o.BestEffortQueue)
+	}
+	if o.DialTimeout == 0 {
+		o.DialTimeout = time.Second
+	}
+	if o.RequestTimeout == 0 {
+		o.RequestTimeout = 3 * time.Second
+	}
+	if o.IdleTimeout == 0 {
+		o.IdleTimeout = 60 * time.Second
+	}
+	if o.ConnsPerPeer == 0 {
+		o.ConnsPerPeer = 1
+	}
+	if o.MaxInFlightPerConn == 0 {
+		o.MaxInFlightPerConn = 256
+	}
+	if o.BestEffortWorkers == 0 {
+		o.BestEffortWorkers = 4
+	}
+	if o.BestEffortQueue == 0 {
+		o.BestEffortQueue = 1024
+	}
+	if o.DialBackoffBase == 0 {
+		o.DialBackoffBase = 50 * time.Millisecond
+	}
+	if o.DialBackoffMax == 0 {
+		o.DialBackoffMax = 2 * time.Second
+	}
+	if o.DialBackoffBase > o.DialBackoffMax {
+		return fmt.Errorf("tcpnet: dial backoff base %v exceeds max %v", o.DialBackoffBase, o.DialBackoffMax)
+	}
+	if o.Dial == nil {
+		d := &net.Dialer{}
+		o.Dial = d.DialContext
+	}
+	if o.Listen == nil {
+		o.Listen = net.Listen
+	}
+	return nil
+}
+
+// Stats is a point-in-time snapshot of the transport's instrumentation.
+// The pooling invariant to watch in production is Dials << Requests.
+type Stats struct {
+	// Dials counts TCP connections established by the client side.
+	Dials int64
+	// DialErrors counts failed dial attempts (backoff fail-fasts excluded).
+	DialErrors int64
+	// Requests counts request/response exchanges attempted over pooled
+	// connections, including best-effort deliveries.
+	Requests int64
+	// StaleRetries counts sends transparently retried on a fresh connection
+	// after writing to a pooled connection the peer had already closed.
+	StaleRetries int64
+	// OpenConns is the number of currently open pooled (outbound) connections.
+	OpenConns int64
+	// BestEffortQueued / BestEffortDropped count fire-and-forget sends
+	// accepted into, or shed from, the bounded best-effort queue.
+	BestEffortQueued  int64
+	BestEffortDropped int64
+	// AcceptedConns counts inbound connections accepted across listeners.
+	AcceptedConns int64
+	// AcceptErrors counts transient listener Accept failures survived via
+	// backoff (FD exhaustion shows up here instead of as a spinning core).
+	AcceptErrors int64
+}
+
+// netStats hold the live counters behind Stats.
+type netStats struct {
+	dials             metrics.Counter
+	dialErrors        metrics.Counter
+	requests          metrics.Counter
+	staleRetries      metrics.Counter
+	openConns         metrics.Gauge
+	bestEffortQueued  metrics.Counter
+	bestEffortDropped metrics.Counter
+	acceptedConns     metrics.Counter
+	acceptErrors      metrics.Counter
 }
 
 // Network implements transport.Network over TCP. Each Register call starts a
-// listener on the registered address; each Client dials per request (simple
-// and adequate for membership traffic volumes).
+// listener on the registered address; Clients share per-destination
+// connection pools owned by the Network.
 type Network struct {
 	opts Options
+	st   netStats
 
 	mu        sync.Mutex
+	closed    bool
 	listeners map[node.Addr]*listenerState
+	pools     map[node.Addr]*pool
+
+	beCh chan beTask
+	beWG sync.WaitGroup
 }
 
-type listenerState struct {
-	ln      net.Listener
-	handler transport.Handler
-	quit    chan struct{}
-	wg      sync.WaitGroup
-}
-
-// New creates a TCP transport network.
-func New(opts Options) *Network {
-	if opts.DialTimeout <= 0 {
-		opts.DialTimeout = time.Second
+// New creates a TCP transport network. It fails on invalid options (negative
+// timeouts or bounds, inverted backoff range).
+func New(opts Options) (*Network, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
 	}
-	if opts.RequestTimeout <= 0 {
-		opts.RequestTimeout = 3 * time.Second
+	n := &Network{
+		opts:      opts,
+		listeners: make(map[node.Addr]*listenerState),
+		pools:     make(map[node.Addr]*pool),
+		beCh:      make(chan beTask, opts.BestEffortQueue),
 	}
-	return &Network{opts: opts, listeners: make(map[node.Addr]*listenerState)}
+	n.beWG.Add(opts.BestEffortWorkers)
+	for i := 0; i < opts.BestEffortWorkers; i++ {
+		go n.bestEffortWorker()
+	}
+	return n, nil
 }
 
 // Register implements transport.Network: it listens on addr and serves
 // inbound requests with handler until Deregister is called.
 func (n *Network) Register(addr node.Addr, handler transport.Handler) error {
-	ln, err := net.Listen("tcp", string(addr))
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return fmt.Errorf("tcpnet: network closed")
+	}
+	if _, dup := n.listeners[addr]; dup {
+		n.mu.Unlock()
+		return fmt.Errorf("tcpnet: %s already registered", addr)
+	}
+	n.mu.Unlock()
+
+	ln, err := n.opts.Listen("tcp", string(addr))
 	if err != nil {
 		return fmt.Errorf("tcpnet: listen %s: %w", addr, err)
 	}
-	st := &listenerState{ln: ln, handler: handler, quit: make(chan struct{})}
+	st := &listenerState{
+		net:     n,
+		ln:      ln,
+		handler: handler,
+		quit:    make(chan struct{}),
+		conns:   make(map[net.Conn]struct{}),
+	}
+
 	n.mu.Lock()
+	if n.closed || n.listeners[addr] != nil {
+		n.mu.Unlock()
+		ln.Close()
+		return fmt.Errorf("tcpnet: %s already registered", addr)
+	}
 	n.listeners[addr] = st
 	n.mu.Unlock()
 
 	st.wg.Add(1)
-	go func() {
-		defer st.wg.Done()
-		for {
-			conn, err := ln.Accept()
-			if err != nil {
-				select {
-				case <-st.quit:
-					return
-				default:
-				}
-				continue
-			}
-			st.wg.Add(1)
-			go func() {
-				defer st.wg.Done()
-				st.serveConn(conn, n.opts.RequestTimeout)
-			}()
-		}
-	}()
+	go st.acceptLoop()
 	return nil
 }
 
-// Deregister stops the listener bound to addr.
+// Deregister stops the listener bound to addr, closes its inbound
+// connections and waits for in-flight handlers to drain.
 func (n *Network) Deregister(addr node.Addr) {
 	n.mu.Lock()
 	st, ok := n.listeners[addr]
@@ -105,12 +248,11 @@ func (n *Network) Deregister(addr node.Addr) {
 	if !ok {
 		return
 	}
-	close(st.quit)
-	st.ln.Close()
-	st.wg.Wait()
+	st.shutdown()
 }
 
-// Client implements transport.Network.
+// Client implements transport.Network. All clients share the network's
+// per-destination pools; from only labels the client.
 func (n *Network) Client(addr node.Addr) transport.Client {
 	return &client{net: n, from: addr}
 }
@@ -127,106 +269,83 @@ func (n *Network) ListenAddr(addr node.Addr) (node.Addr, bool) {
 	return node.Addr(st.ln.Addr().String()), true
 }
 
-func (st *listenerState) serveConn(conn net.Conn, timeout time.Duration) {
-	defer conn.Close()
-	for {
-		conn.SetReadDeadline(time.Now().Add(30 * time.Second))
-		frame, err := readFrame(conn)
-		if err != nil {
-			return
-		}
-		req, err := remoting.DecodeRequest(frame)
-		if err != nil {
-			return
-		}
-		ctx, cancel := context.WithTimeout(context.Background(), timeout)
-		from := node.Addr(conn.RemoteAddr().String())
-		resp, err := st.handler.HandleRequest(ctx, from, req)
+// Stats snapshots the transport counters.
+func (n *Network) Stats() Stats {
+	return Stats{
+		Dials:             n.st.dials.Value(),
+		DialErrors:        n.st.dialErrors.Value(),
+		Requests:          n.st.requests.Value(),
+		StaleRetries:      n.st.staleRetries.Value(),
+		OpenConns:         n.st.openConns.Value(),
+		BestEffortQueued:  n.st.bestEffortQueued.Value(),
+		BestEffortDropped: n.st.bestEffortDropped.Value(),
+		AcceptedConns:     n.st.acceptedConns.Value(),
+		AcceptErrors:      n.st.acceptErrors.Value(),
+	}
+}
+
+// Close tears the whole transport down: every listener, every pooled
+// connection, and the best-effort worker pool. The network cannot be reused
+// afterwards. Safe to call more than once.
+func (n *Network) Close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	listeners := make([]*listenerState, 0, len(n.listeners))
+	for addr, st := range n.listeners {
+		delete(n.listeners, addr)
+		listeners = append(listeners, st)
+	}
+	pools := make([]*pool, 0, len(n.pools))
+	for addr, pl := range n.pools {
+		delete(n.pools, addr)
+		pools = append(pools, pl)
+	}
+	close(n.beCh)
+	n.mu.Unlock()
+
+	for _, st := range listeners {
+		st.shutdown()
+	}
+	for _, pl := range pools {
+		pl.closeAll()
+	}
+	n.beWG.Wait()
+}
+
+// beTask is one queued best-effort send.
+type beTask struct {
+	to  node.Addr
+	req *remoting.Request
+}
+
+// bestEffortWorker drains the bounded queue; each delivery is a normal
+// pooled Send whose outcome is intentionally ignored.
+func (n *Network) bestEffortWorker() {
+	defer n.beWG.Done()
+	for task := range n.beCh {
+		ctx, cancel := context.WithTimeout(context.Background(), n.opts.RequestTimeout)
+		_, _ = n.send(ctx, ctx, task.to, task.req)
 		cancel()
-		if err != nil || resp == nil {
-			resp = &remoting.Response{}
-		}
-		data, err := remoting.EncodeResponse(resp)
-		if err != nil {
-			return
-		}
-		conn.SetWriteDeadline(time.Now().Add(timeout))
-		if err := writeFrame(conn, data); err != nil {
-			return
-		}
 	}
 }
 
-type client struct {
-	net  *Network
-	from node.Addr
-}
-
-// Send implements transport.Client: dial, write one frame, read one frame.
-func (c *client) Send(ctx context.Context, to node.Addr, req *remoting.Request) (*remoting.Response, error) {
-	d := net.Dialer{Timeout: c.net.opts.DialTimeout}
-	conn, err := d.DialContext(ctx, "tcp", string(to))
-	if err != nil {
-		return nil, transport.ErrUnreachable
+// pool returns (creating on demand) the connection pool for a destination.
+func (n *Network) pool(to node.Addr) *pool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil
 	}
-	defer conn.Close()
-
-	deadline, ok := ctx.Deadline()
+	pl, ok := n.pools[to]
 	if !ok {
-		deadline = time.Now().Add(c.net.opts.RequestTimeout)
+		pl = newPool(n, to)
+		n.pools[to] = pl
 	}
-	conn.SetDeadline(deadline)
-
-	data, err := remoting.EncodeRequest(req)
-	if err != nil {
-		return nil, err
-	}
-	if err := writeFrame(conn, data); err != nil {
-		return nil, transport.ErrUnreachable
-	}
-	frame, err := readFrame(conn)
-	if err != nil {
-		if errors.Is(err, io.EOF) {
-			return nil, transport.ErrUnreachable
-		}
-		return nil, transport.ErrTimeout
-	}
-	return remoting.DecodeResponse(frame)
-}
-
-// SendBestEffort implements transport.Client.
-func (c *client) SendBestEffort(to node.Addr, req *remoting.Request) {
-	go func() {
-		ctx, cancel := context.WithTimeout(context.Background(), c.net.opts.RequestTimeout)
-		defer cancel()
-		_, _ = c.Send(ctx, to, req)
-	}()
-}
-
-func writeFrame(w io.Writer, data []byte) error {
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(data)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
-	}
-	_, err := w.Write(data)
-	return err
-}
-
-func readFrame(r io.Reader) ([]byte, error) {
-	var hdr [4]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return nil, err
-	}
-	size := binary.BigEndian.Uint32(hdr[:])
-	if size > maxFrame {
-		return nil, fmt.Errorf("tcpnet: frame of %d bytes exceeds limit", size)
-	}
-	buf := make([]byte, size)
-	if _, err := io.ReadFull(r, buf); err != nil {
-		return nil, err
-	}
-	return buf, nil
+	return pl
 }
 
 var _ transport.Network = (*Network)(nil)

@@ -121,20 +121,22 @@ func NewSimulatedNetwork(opts SimulatedNetworkOptions) *SimulatedNetwork {
 	})
 }
 
-// TCPNetworkOptions configure the real TCP transport.
-type TCPNetworkOptions struct {
-	// DialTimeout bounds connection establishment.
-	DialTimeout time.Duration
-	// RequestTimeout bounds a whole request/response exchange.
-	RequestTimeout time.Duration
-}
+// TCPNetworkOptions configure the real TCP transport. See tcpnet.Options for
+// the full set of knobs; the zero value is production-ready.
+type TCPNetworkOptions = tcpnet.Options
 
-// TCPNetwork is the TCP transport used by standalone agents.
+// TCPNetwork is the TCP transport used by standalone agents. Connections are
+// pooled per destination and pipelined; Stats() reports dial/request/drop
+// counters and Close() releases every listener, pooled connection and worker.
 type TCPNetwork = tcpnet.Network
 
-// NewTCPNetwork creates a TCP transport.
-func NewTCPNetwork(opts TCPNetworkOptions) *TCPNetwork {
-	return tcpnet.New(tcpnet.Options{DialTimeout: opts.DialTimeout, RequestTimeout: opts.RequestTimeout})
+// TCPNetworkStats is a snapshot of the TCP transport's counters.
+type TCPNetworkStats = tcpnet.Stats
+
+// NewTCPNetwork creates a TCP transport. It fails on invalid options
+// (negative timeouts or bounds), mirroring Settings validation.
+func NewTCPNetwork(opts TCPNetworkOptions) (*TCPNetwork, error) {
+	return tcpnet.New(opts)
 }
 
 // PingPongFailureDetector returns the paper's default edge failure detector

@@ -127,7 +127,11 @@ func TestPublicAPICentralizedMode(t *testing.T) {
 
 // TestPublicAPIOverTCP runs a two-node cluster over the real TCP transport.
 func TestPublicAPIOverTCP(t *testing.T) {
-	net := rapid.NewTCPNetwork(rapid.TCPNetworkOptions{})
+	net, err := rapid.NewTCPNetwork(rapid.TCPNetworkOptions{})
+	if err != nil {
+		t.Fatalf("NewTCPNetwork: %v", err)
+	}
+	defer net.Close()
 	settings := rapid.ScaledSettings(20)
 
 	seed, err := rapid.StartCluster("127.0.0.1:39801", settings, net)
